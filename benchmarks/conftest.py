@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure from the paper and prints
+it.  Absolute simulator numbers are not comparable to the paper's
+testbed; the reproduced artifact is the *shape* (who wins, rough factors).
+
+Scales can be reduced for quick runs:  REPRO_SCALE=0.05 pytest benchmarks/
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture
+def report():
+    """Print a reproduced table under a banner (flushes around capture)."""
+
+    def _report(title: str, body: str) -> None:
+        banner(title)
+        print(body)
+
+    return _report

@@ -1,0 +1,184 @@
+"""Ablation benchmarks: which scheduler mechanism buys what.
+
+DESIGN.md calls out several design choices in the reproduction; these
+ablations quantify each one on a fixed scenario:
+
+* **NOHZ idle balancing** -- without the kick, tickless idle cores are
+  never balanced on behalf of, and a freshly-overloaded node stays
+  overloaded far longer;
+* **newidle balancing** -- without it, a core going idle cannot pull work
+  immediately and waits for the periodic balancer;
+* **the migration-cost gate** -- the kernel's refusal to newidle-balance
+  short-term-idle cores is what lets the Overload-on-Wakeup bug live; with
+  the gate removed (cost=0), the buggy wakeup path loses most of its bite;
+* **the invariant-guarded modular scheduler** (the paper's Section 5
+  proposal) -- with only the *buggy* cache-affinity module plugged in, the
+  guard alone keeps the machine work-conserving.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.report import Table
+from repro.modular import CacheAffinityModule, ModularSystem
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.stats.metrics import IdleOverloadSampler
+from repro.topology import two_nodes
+from repro.workloads.base import Run, Sleep, TaskSpec
+
+
+def hog(name, allowed=None):
+    def factory():
+        def program():
+            while True:
+                yield Run(5 * MS)
+        return program()
+    return TaskSpec(name, factory, allowed_cpus=allowed)
+
+
+def sleepy(cycles=400):
+    def factory():
+        def program():
+            for _ in range(cycles):
+                yield Run(1 * MS)
+                yield Sleep(1 * MS)
+        return program()
+    return TaskSpec("sleepy", factory)
+
+
+def _spread_latency(features, seed=11) -> float:
+    """ms until 8 threads started on one node first cover both nodes."""
+    system = System(two_nodes(cores_per_node=4), features, seed=seed)
+    tasks = [system.spawn(hog(f"t{i}"), parent_cpu=0) for i in range(8)]
+    deadline = 2 * SEC
+    state = {"covered_at": None}
+
+    def watch(now):
+        if state["covered_at"] is not None:
+            return
+        node1 = sum(
+            1 for t in tasks
+            if t.cpu is not None and t.cpu >= 4
+        )
+        if node1 >= 3:
+            state["covered_at"] = now
+
+    system.tick_hooks.append(watch)
+    system.run_for(deadline)
+    covered = state["covered_at"]
+    return (covered if covered is not None else deadline) / 1000.0
+
+
+def _wakeup_pileup_fraction(features, seed=6, guarded=False) -> float:
+    """Fraction of a sleeper's wakeups landing on busy cores.
+
+    Periodic balancing is slowed to isolate the wakeup path; with
+    ``guarded=True`` the Section-5 modular core (buggy cache module only)
+    makes the placement instead.
+    """
+    features = replace(features, balance_base_us=10 * SEC)
+    if guarded:
+        system = ModularSystem(
+            two_nodes(cores_per_node=4), features,
+            modules=[CacheAffinityModule(node_restricted=True)], seed=seed,
+        )
+    else:
+        system = System(two_nodes(cores_per_node=4), features, seed=seed)
+    for i in range(4):
+        system.spawn(hog(f"hog{i}", frozenset({i})), on_cpu=i)
+    # A brief pinned filler overloads cpu 0 so one (fruitless) balancing
+    # round runs and arms the slowed-down stamps past the horizon.
+    filler_spec = hog("filler", frozenset({0}))
+
+    def bounded_filler():
+        def program():
+            yield Run(5 * MS)
+        return program()
+
+    filler_spec = TaskSpec("filler", bounded_filler,
+                           allowed_cpus=frozenset({0}))
+    system.spawn(filler_spec, on_cpu=0)
+    system.run_for(10 * MS)
+    task = system.spawn(sleepy(), on_cpu=0)
+    system.run_for(1 * SEC)
+    return task.stats.wakeups_on_busy_core / max(task.stats.wakeups, 1)
+
+
+def _recovery_violation_fraction(features, seed=13) -> float:
+    """Violation fraction when recovery can only come from newidle pulls.
+
+    Node 0 is overloaded with hogs; node 1 runs sleepers whose run/sleep
+    cycling creates short idle windows -- exactly the windows newidle
+    balancing may or may not exploit.  NOHZ is disabled to isolate it.
+    """
+    features = replace(features, nohz_idle_balance_enabled=False)
+    system = System(two_nodes(cores_per_node=4), features, seed=seed)
+    sampler = IdleOverloadSampler()
+    sampler.attach(system)
+    for i in range(10):
+        system.spawn(hog(f"hog{i}"), parent_cpu=0)
+    for i in range(4):
+        system.spawn(sleepy(cycles=500), on_cpu=4 + i)
+    system.run_for(1 * SEC)
+    return sampler.violation_fraction
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, report):
+    base = SchedFeatures().without_autogroup()
+
+    def run_all():
+        results = {}
+        # 1. NOHZ idle balancing: can long-term idle cores ever be used?
+        results["spread_ms_mainline"] = _spread_latency(base)
+        results["spread_ms_no_nohz"] = _spread_latency(
+            replace(base, nohz_idle_balance_enabled=False)
+        )
+        # 2. newidle balancing and its migration-cost gate, isolated from
+        # NOHZ: short idle windows on the receiving node.
+        results["violfrac_newidle_on"] = _recovery_violation_fraction(base)
+        results["violfrac_newidle_off"] = _recovery_violation_fraction(
+            replace(base, newidle_balance_enabled=False)
+        )
+        results["violfrac_cost0"] = _recovery_violation_fraction(
+            replace(base, migration_cost_us=0)
+        )
+        # 3. the wakeup bug with balancing quiesced...
+        results["pileup_unguarded"] = _wakeup_pileup_fraction(base)
+        # ...and the Section-5 modular guard with only the buggy cache
+        # module plugged in.
+        results["pileup_guarded_buggy_module"] = _wakeup_pileup_fraction(
+            base, guarded=True
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablations: mechanism contributions",
+        ["metric", "value"],
+    )
+    for key, value in results.items():
+        table.add_row(key, f"{value:.3f}")
+    table.add_note(
+        "spread_ms: time for 8 threads forked on node 0 to cover node 1; "
+        "pileup: sleeper wakeups landing on busy cores"
+    )
+    report("Ablation results", table.render())
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in results.items()}
+    )
+
+    # Without NOHZ, never-woken idle cores are unreachable.
+    assert results["spread_ms_no_nohz"] > 10 * results["spread_ms_mainline"]
+    # newidle pulls reduce idle-while-overloaded time; removing the
+    # migration-cost gate helps at least as much as stock newidle.
+    assert results["violfrac_newidle_off"] >= results["violfrac_newidle_on"]
+    assert results["violfrac_cost0"] <= results["violfrac_newidle_on"]
+    # The buggy wakeup path strands the sleeper on busy cores...
+    assert results["pileup_unguarded"] > 0.5
+    # ...but the Section-5 guard neutralizes the same buggy policy.
+    assert results["pileup_guarded_buggy_module"] < 0.1

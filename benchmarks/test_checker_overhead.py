@@ -1,0 +1,33 @@
+"""Benchmark: the sanity checker's overhead claim (Section 4.1).
+
+Paper: under 0.5% overhead at S = 1 s with up to 10,000 threads, and the
+checker is observation-only.  Simulator analog: attaching the checker
+must not change the schedule at all, and its wall-clock cost must stay
+small relative to the run.
+"""
+
+import pytest
+
+from repro.experiments.harness import quick_scale
+from repro.experiments.overhead import format_overhead, run_overhead
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_checker_overhead(benchmark, report):
+    scale = quick_scale(1.0)
+    threads = max(64, int(512 * scale))
+    result = benchmark.pedantic(
+        lambda: run_overhead(threads=threads, run_virtual_s=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    report("Sanity-checker overhead (Section 4.1)", format_overhead(result))
+    benchmark.extra_info["wall_overhead"] = round(
+        result.wall_overhead_fraction, 4
+    )
+    benchmark.extra_info["threads"] = result.threads
+    # Observation-only: identical virtual behavior.
+    assert result.behavior_identical
+    # Wall overhead stays modest (generous bound: timing noise on shared
+    # machines).  The paper's claim is < 0.5% on real hardware.
+    assert result.wall_overhead_fraction < 0.5

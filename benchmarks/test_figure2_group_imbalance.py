@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 2 (Group Imbalance heatmaps).
+
+Paper: under the bug two nodes run one-or-zero threads per core while the
+others are overloaded (2a); the per-core load view (2b) shows the R
+threads' huge load hiding the idle cores; the fix restores balance (2c)
+and make completes 13% faster.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+from repro.experiments.harness import quick_scale
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2(benchmark, report):
+    scale = quick_scale(0.5)
+    result = benchmark.pedantic(
+        lambda: run_figure2(scale=scale), rounds=1, iterations=1
+    )
+    report(
+        "Figure 2 reproduction (make 64 + 2 R)",
+        render_figure2(result, bins=96, svg_dir="benchmarks/output"),
+    )
+    benchmark.extra_info["make_improvement_pct"] = round(
+        result.make_improvement_pct, 1
+    )
+    benchmark.extra_info["idle_r_node_core_s"] = {
+        "buggy": round(result.buggy.idle_node_core_seconds, 2),
+        "fixed": round(result.fixed.idle_node_core_seconds, 2),
+    }
+    # Shape: the fix fills the R nodes' idle cores and speeds up make.
+    assert (
+        result.buggy.idle_node_core_seconds
+        > 2 * result.fixed.idle_node_core_seconds
+    )
+    assert result.make_improvement_pct < -5.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 3 (Overload-on-Wakeup during TPC-H).
+
+Paper: database threads repeatedly wake on busy cores while other cores
+idle for long stretches; the system eventually recovers when balancing
+happens to pick a long-term idle core.  Reproduction targets: the
+busy-wakeup fraction collapses with the fix, and invariant-violation
+episodes shrink.
+"""
+
+import pytest
+
+from repro.experiments.figure3 import render_figure3, run_figure3
+from repro.experiments.harness import quick_scale
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3(benchmark, report):
+    scale = quick_scale(1.0)
+    result = benchmark.pedantic(
+        lambda: run_figure3(scale=scale), rounds=1, iterations=1
+    )
+    report(
+        "Figure 3 reproduction (TPC-H wakeup placement)",
+        render_figure3(result, bins=96, svg_dir="benchmarks/output"),
+    )
+    benchmark.extra_info["busy_wakeup_fraction"] = {
+        "buggy": round(result.buggy.busy_wakeup_fraction, 3),
+        "fixed": round(result.fixed.busy_wakeup_fraction, 3),
+    }
+    assert (
+        result.buggy.busy_wakeup_fraction
+        > 1.5 * result.fixed.busy_wakeup_fraction
+    )

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 5 (Missing Scheduling Domains view).
+
+Paper: after the hotplug cycle, Core 0's load-balancing calls (every 4 ms)
+only ever consider its SMT sibling and its own node, never the overloaded
+node.  Reproduction target: the observer's considered-core coverage is
+1/8th of the machine under the bug and reaches across nodes with the fix.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import render_figure5, run_figure5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark, report):
+    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    report(
+        "Figure 5 reproduction (considered cores after hotplug)",
+        render_figure5(result, svg_dir="benchmarks/output"),
+    )
+    benchmark.extra_info["coverage"] = {
+        "buggy": round(result.buggy.coverage, 3),
+        "fixed": round(result.fixed.coverage, 3),
+    }
+    assert result.buggy.coverage <= 0.15  # one node of eight
+    assert result.fixed.coverage >= 0.5
+    assert result.buggy.balancing_calls > 10  # calls happen, all futile

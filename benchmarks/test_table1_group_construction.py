@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 1 (Scheduling Group Construction bug).
+
+Paper: NAS applications pinned to nodes 1 and 2 run up to 27x slower with
+the bug (lu the extreme).  Reproduction target: every app slower with the
+bug, lu by far the most.
+"""
+
+import pytest
+
+from repro.experiments.harness import quick_scale
+from repro.experiments.table1 import (
+    PAPER_SPEEDUPS,
+    format_table1,
+    run_table1,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, report):
+    scale = quick_scale(0.2)
+    rows = benchmark.pedantic(
+        lambda: run_table1(scale=scale), rounds=1, iterations=1
+    )
+    report("Table 1 reproduction", format_table1(rows))
+
+    factors = {row.app: row.speedup for row in rows}
+    benchmark.extra_info["speedups"] = {
+        app: round(f, 2) for app, f in factors.items()
+    }
+    # Shape assertions: everything suffers, lu is the extreme outlier.
+    for app, factor in factors.items():
+        assert factor > 1.0, f"{app} should be slower with the bug"
+    assert factors["lu"] == max(factors.values())
+    assert factors["lu"] > 8.0
+    # The mildest apps in the paper stay mild here.
+    assert factors["ep"] < 4.0
+    # Rank correlation with the paper's factors (coarse).
+    paper_order = sorted(PAPER_SPEEDUPS, key=PAPER_SPEEDUPS.get)
+    ours_order = sorted(factors, key=factors.get)
+    assert paper_order[-1] == ours_order[-1] == "lu"

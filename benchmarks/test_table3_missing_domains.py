@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 3 (Missing Scheduling Domains bug).
+
+Paper: after a core disable/re-enable, 64-thread NAS apps run on one node
+instead of eight -- 4x to 138x slower (lu worst).  Reproduction target:
+every app well beyond the raw 1/8th-CPU loss for the sync-heavy codes,
+with lu the extreme.
+"""
+
+import pytest
+
+from repro.experiments.harness import quick_scale
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3(benchmark, report):
+    scale = quick_scale(0.2)
+    rows = benchmark.pedantic(
+        lambda: run_table3(scale=scale), rounds=1, iterations=1
+    )
+    report("Table 3 reproduction", format_table3(rows))
+
+    factors = {row.app: row.speedup for row in rows}
+    benchmark.extra_info["speedups"] = {
+        app: round(f, 2) for app, f in factors.items()
+    }
+    for app, factor in factors.items():
+        assert factor > 3.0, f"{app} should suffer badly ({factor:.1f}x)"
+    # lu's spin-pipeline makes it the extreme case, beyond the 8x CPU loss.
+    assert factors["lu"] == max(factors.values())
+    assert factors["lu"] > 8.0
+    # Several synchronization-heavy apps exceed the raw 8x CPU loss.
+    beyond_cpu_loss = sum(1 for f in factors.values() if f > 8.0)
+    assert beyond_cpu_loss >= 3

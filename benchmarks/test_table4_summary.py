@@ -1,0 +1,64 @@
+"""Benchmark: regenerate Table 4 (bug summary) with measured impacts.
+
+Runs a fast representative scenario per bug and reports this
+reproduction's measured maximum impact next to the paper's.
+"""
+
+import pytest
+
+from repro.core.bugs import BUGS
+from repro.experiments.harness import quick_scale
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import format_table4
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_database_traced
+from repro.experiments.harness import ExperimentConfig
+from repro.sched.features import SchedFeatures
+
+
+def _measure_all(scale: float) -> dict:
+    measured = {}
+
+    # Group Imbalance: make+R completion improvement.
+    fig2 = run_figure2(scale=min(scale * 2, 1.0))
+    measured["Group Imbalance"] = (
+        f"{-fig2.make_improvement_pct:.0f}% (make)"
+    )
+
+    # Scheduling Group Construction: worst NAS factor (lu).
+    t1 = run_table1(scale=scale, apps=["lu"])
+    measured["Scheduling Group Construction"] = f"{t1[0].speedup:.0f}x (lu)"
+
+    # Overload-on-Wakeup: Q18 completion delta.
+    base = SchedFeatures().without_autogroup()
+    buggy = run_database_traced(
+        ExperimentConfig(base, seed=42, scale=1.0), queries=4
+    )
+    fixed = run_database_traced(
+        ExperimentConfig(
+            base.with_fixes("overload_on_wakeup"), seed=42, scale=1.0
+        ),
+        queries=4,
+    )
+    delta = (buggy.span_us - fixed.span_us) / buggy.span_us * 100
+    measured["Overload-on-Wakeup"] = f"{delta:.0f}% (TPC-H)"
+
+    # Missing Scheduling Domains: worst NAS factor (lu).
+    t3 = run_table3(scale=scale, apps=["lu"])
+    measured["Missing Scheduling Domains"] = f"{t3[0].speedup:.0f}x (lu)"
+    return measured
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4(benchmark, report):
+    scale = quick_scale(0.2)
+    measured = benchmark.pedantic(
+        lambda: _measure_all(scale), rounds=1, iterations=1
+    )
+    report(
+        "Table 4 reproduction (bug registry + measured impacts)",
+        format_table4(measured_max=measured),
+    )
+    benchmark.extra_info["measured"] = measured
+    assert set(measured) == {b.name for b in BUGS}

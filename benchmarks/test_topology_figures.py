@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table 5, Figure 1 and Figure 4 (machine model).
+
+Descriptive artifacts: the experimental machine's spec sheet, the domain
+hierarchy of the first core, and the asymmetric interconnect with the
+exact published one-hop neighborhoods.
+"""
+
+import pytest
+
+from repro.experiments.figures_topology import (
+    format_bulldozer_domains,
+    format_figure1,
+    format_figure4,
+    format_table5,
+)
+from repro.topology import amd_bulldozer_64
+
+
+@pytest.mark.benchmark(group="topology")
+def test_topology_artifacts(benchmark, report):
+    def build():
+        return (
+            format_table5(),
+            format_figure1(),
+            format_figure4(),
+            format_bulldozer_domains(0),
+        )
+
+    table5, fig1, fig4, domains = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    report("Table 5 reproduction (hardware)", table5)
+    report("Figure 1 reproduction (domain hierarchy)", fig1)
+    report("Figure 4 reproduction (interconnect)", fig4)
+    report("Bulldozer domains of cpu 0", domains)
+
+    topo = amd_bulldozer_64()
+    assert topo.num_cpus == 64
+    assert topo.interconnect.neighbors(0) == frozenset({1, 2, 4, 6})
+    assert topo.interconnect.neighbors(3) == frozenset({1, 2, 4, 5, 7})
+    assert topo.interconnect.distance(1, 2) == 2
+    assert "NUMA-2hop" in domains

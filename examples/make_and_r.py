@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""The Group Imbalance scenario (paper Figure 2): make -j 64 + two R jobs.
+
+Reproduces the multi-user machine from Section 3.1: a 64-worker kernel
+build and two single-threaded R processes, each from its own ssh session
+(autogroup).  Renders the three panels of Figure 2 as ASCII heatmaps and
+writes SVG versions next to this script.
+
+Run:  python examples/make_and_r.py [output-dir]
+"""
+
+import os
+import sys
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.abspath(__file__)
+    )
+    print("running make(64) + 2 x R under the buggy and fixed schedulers...")
+    result = run_figure2(scale=0.3, seed=42)
+    print(render_figure2(result, bins=96, svg_dir=out_dir))
+    print()
+    print(
+        "reading the heatmaps: warmer cells = more threads in that core's "
+        "runqueue; blue lines separate NUMA nodes.  Under the bug the two "
+        "R nodes stay mostly white (idle cores) while other nodes run two "
+        "threads per core; the load heatmap (2b) shows why -- the R cores' "
+        "single huge load inflates their nodes' average."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's Section 5 vision, running: an invariant-guarded modular
+scheduler.
+
+    "The core module should be able to take suggestions from optimization
+    modules and to act on them whenever feasible, while always maintaining
+    the basic invariants, such as not letting cores sit idle while there
+    are runnable threads."
+
+This demo plugs the *buggy* cache-affinity policy (the exact behavior
+behind the Overload-on-Wakeup bug) into the guarded core as an
+optimization module, and shows the guard neutralizing it: the sleepy
+thread never piles onto busy cores, because an infeasible suggestion is
+overridden with the longest-idle core.
+
+Run:  python examples/modular_scheduler.py
+"""
+
+from dataclasses import replace
+
+from repro.modular import CacheAffinityModule, LeastLoadedModule, ModularSystem
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import two_nodes
+from repro.workloads.base import Run, Sleep, TaskSpec
+
+
+def pinned_hog(i):
+    def factory():
+        def program():
+            while True:
+                yield Run(5 * MS)
+        return program()
+
+    return TaskSpec(f"hog{i}", factory, allowed_cpus=frozenset({i}))
+
+
+def bounded_filler():
+    def factory():
+        def program():
+            yield Run(5 * MS)
+        return program()
+
+    return TaskSpec("filler", factory, allowed_cpus=frozenset({0}))
+
+
+def sleepy():
+    def factory():
+        def program():
+            for _ in range(400):
+                yield Run(1 * MS)
+                yield Sleep(1 * MS)
+        return program()
+
+    return TaskSpec("sleepy", factory)
+
+
+def run(system, label):
+    for i in range(4):
+        system.spawn(pinned_hog(i), on_cpu=i)
+    system.spawn(bounded_filler(), on_cpu=0)
+    system.run_for(10 * MS)
+    task = system.spawn(sleepy(), on_cpu=0)
+    system.run_for(1 * SEC)
+    frac = task.stats.wakeups_on_busy_core / max(task.stats.wakeups, 1)
+    print(f"--- {label}")
+    print(f"  sleepy thread wakeups on busy cores: {frac:.1%}")
+    return task
+
+
+def main() -> None:
+    # Periodic balancing slowed way down, so placement decisions are all
+    # that matters -- the worst case for a bad wakeup policy.
+    features = replace(
+        SchedFeatures().without_autogroup(), balance_base_us=10 * SEC
+    )
+    topo = two_nodes(cores_per_node=4)
+
+    print("scenario: node 0 fully busy (4 pinned hogs); node 1 idle;")
+    print("a sleepy thread waking every millisecond starts on node 0.\n")
+
+    run(System(topo, features, seed=6),
+        "monolithic scheduler, buggy wakeup path")
+
+    guarded = ModularSystem(
+        topo, features,
+        modules=[CacheAffinityModule(node_restricted=True)], seed=6,
+    )
+    run(guarded, "modular core + the SAME buggy policy as a module")
+    print(f"  {guarded.guarded.decision_summary()}")
+    sample = [d for d in guarded.guarded.decisions
+              if d.source == "guard-override"][:1]
+    for d in sample:
+        print(f"  first override: t={d.time_us}us -> cpu {d.cpu} "
+              f"({d.reason})")
+
+    both = ModularSystem(
+        topo, features,
+        modules=[CacheAffinityModule(node_restricted=True),
+                 LeastLoadedModule()],
+        seed=6,
+    )
+    run(both, "modular core + cache-affinity AND contention modules")
+    print(f"  {both.guarded.decision_summary()}")
+
+    print(
+        "\nthe invariant guard turns the Overload-on-Wakeup *bug* into a "
+        "mere suggestion it can refuse -- the paper's argument for "
+        "rethinking the scheduler's architecture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP 660 editable installs are unavailable; this enables `pip install -e .`
+via the classic setuptools develop path.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

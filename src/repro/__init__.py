@@ -1,0 +1,78 @@
+"""repro: a reproduction of "The Linux Scheduler: a Decade of Wasted Cores"
+(Lozi et al., EuroSys 2016).
+
+The package simulates a multicore NUMA machine running a faithful model of
+Linux's CFS scheduler -- per-core runqueues on a red-black tree, the
+weight x utilization / autogroup load metric, hierarchical scheduling
+domains, the paper's Algorithm 1 load balancer, cache-affine wakeup
+placement, NOHZ idle balancing and CPU hotplug -- with the paper's four
+performance bugs implemented *as behaviors* and their fixes as feature
+flags:
+
+>>> from repro import System, SchedFeatures, amd_bulldozer_64
+>>> system = System(amd_bulldozer_64(), SchedFeatures())            # buggy
+>>> system = System(amd_bulldozer_64(),
+...                 SchedFeatures().with_fixes("all"))              # fixed
+
+On top of the simulator sit the paper's two contributed tools -- the
+online sanity checker (Algorithm 2) and the scheduling visualizer -- plus
+the workload models (NAS, kernel make, R, a TPC-H database) and one
+experiment driver per table/figure in ``repro.experiments``.
+"""
+
+from repro.core.bugs import BUGS, Bug
+from repro.core.invariant import Violation, find_violations
+from repro.core.offline import find_trace_violations, load_trace, save_trace
+from repro.core.sanity_checker import BugReport, SanityChecker
+from repro.sched.features import ALL_FIXED, MAINLINE, SchedFeatures
+from repro.sched.task import Task, TaskState
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC, TICK_US, US
+from repro.stats.metrics import IdleOverloadSampler, summarize_tasks
+from repro.topology import (
+    Interconnect,
+    MachineTopology,
+    amd_bulldozer_64,
+    single_node,
+    two_nodes,
+)
+from repro.viz.events import TraceBuffer, TraceProbe
+from repro.viz.heatmap import HeatmapBuilder, render_ascii_heatmap
+from repro.workloads.base import TaskSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_FIXED",
+    "BUGS",
+    "Bug",
+    "BugReport",
+    "HeatmapBuilder",
+    "IdleOverloadSampler",
+    "Interconnect",
+    "MAINLINE",
+    "MS",
+    "MachineTopology",
+    "SEC",
+    "SanityChecker",
+    "SchedFeatures",
+    "System",
+    "TICK_US",
+    "Task",
+    "TaskSpec",
+    "TaskState",
+    "TraceBuffer",
+    "TraceProbe",
+    "US",
+    "Violation",
+    "amd_bulldozer_64",
+    "find_trace_violations",
+    "find_violations",
+    "load_trace",
+    "render_ascii_heatmap",
+    "save_trace",
+    "single_node",
+    "summarize_tasks",
+    "two_nodes",
+    "__version__",
+]

@@ -1,0 +1,352 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+::
+
+    python -m repro bugs                     # Table 4 (registry)
+    python -m repro topology                 # Table 5 / Figures 1 & 4
+    python -m repro table1 [--scale 0.2] [--apps lu cg]
+    python -m repro table2 [--scale 1.0] [--runs 3]
+    python -m repro table3 [--scale 0.2] [--apps ...]
+    python -m repro figure2 [--scale 0.5] [--svg-dir DIR]
+    python -m repro figure3 [--scale 1.0] [--svg-dir DIR]
+    python -m repro figure5 [--svg-dir DIR]
+    python -m repro overhead [--threads 512]
+    python -m repro demo <group-imbalance|group-construction|
+                          overload-on-wakeup|missing-domains>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_bugs(args) -> int:
+    from repro.experiments.table4 import bug_descriptions, format_table4
+
+    print(format_table4())
+    print()
+    print(bug_descriptions())
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.experiments.figures_topology import (
+        format_bulldozer_domains,
+        format_figure1,
+        format_figure4,
+        format_table5,
+    )
+
+    print(format_table5())
+    print()
+    print(format_figure4())
+    print()
+    print(format_figure1())
+    print()
+    print("domains of cpu 0 on the experimental machine:")
+    print(format_bulldozer_domains(0))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    rows = run_table1(scale=args.scale, apps=args.apps or None)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    rows = run_table2(scale=args.scale, runs=args.runs)
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.experiments.table3 import format_table3, run_table3
+
+    rows = run_table3(scale=args.scale, apps=args.apps or None)
+    print(format_table3(rows))
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.experiments.figure2 import render_figure2, run_figure2
+
+    result = run_figure2(scale=args.scale)
+    print(render_figure2(result, svg_dir=args.svg_dir))
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    from repro.experiments.figure3 import render_figure3, run_figure3
+
+    result = run_figure3(scale=args.scale)
+    print(render_figure3(result, svg_dir=args.svg_dir))
+    return 0
+
+
+def _cmd_figure5(args) -> int:
+    from repro.experiments.figure5 import render_figure5, run_figure5
+
+    result = run_figure5()
+    print(render_figure5(result, svg_dir=args.svg_dir))
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.experiments.overhead import format_overhead, run_overhead
+
+    result = run_overhead(threads=args.threads)
+    print(format_overhead(result))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    """Run one bug's minimal scenario live, with the sanity checker on."""
+    from repro.core.sanity_checker import SanityChecker
+    from repro.sched.features import SchedFeatures
+    from repro.sim.system import System
+    from repro.sim.timebase import MS, SEC
+    from repro.stats.metrics import IdleOverloadSampler, node_busy_times
+    from repro.topology import amd_bulldozer_64, two_nodes
+    from repro.workloads.base import Run, Sleep, TaskSpec
+
+    def hog(name, allowed=None):
+        def factory():
+            def program():
+                while True:
+                    yield Run(5 * MS)
+            return program()
+        return TaskSpec(name, factory, allowed_cpus=allowed)
+
+    bug = args.bug
+    fixes = {
+        "group-imbalance": "group_imbalance",
+        "group-construction": "group_construction",
+        "overload-on-wakeup": "overload_on_wakeup",
+        "missing-domains": "missing_domains",
+    }[bug]
+    for variant in ("buggy", "fixed"):
+        features = SchedFeatures()
+        if bug != "group-imbalance":
+            features = features.without_autogroup()
+        if variant == "fixed":
+            features = features.with_fixes(fixes)
+        if bug in ("group-construction",):
+            topo = amd_bulldozer_64()
+        else:
+            topo = two_nodes(cores_per_node=4)
+        system = System(topo, features, seed=42)
+        checker = SanityChecker(check_interval_us=100 * MS,
+                                monitor_window_us=50 * MS)
+        checker.attach(system)
+        sampler = IdleOverloadSampler()
+        sampler.attach(system)
+
+        if bug == "missing-domains":
+            system.hotplug_cpu(2, False)
+            system.hotplug_cpu(2, True)
+            for i in range(8):
+                system.spawn(hog(f"t{i}"), parent_cpu=0)
+        elif bug == "group-construction":
+            allowed = topo.cpus_of_nodes([1, 2])
+            for i in range(16):
+                system.spawn(hog(f"t{i}", allowed), parent_cpu=8)
+        elif bug == "group-imbalance":
+            from repro.workloads.cpubound import r_process
+            system.spawn(r_process("R1", tty="tty-r"), on_cpu=4)
+            for i in range(16):
+                system.spawn(hog(f"mk{i}"), parent_cpu=1)
+                system.scheduler.cgroups.attach(
+                    system.spawned[-1],
+                    system.scheduler.cgroups.autogroup_for_tty("tty-make"),
+                )
+        else:  # overload-on-wakeup
+            for i in range(4):
+                system.spawn(hog(f"hog{i}", frozenset({i})), on_cpu=i)
+
+            def sleepy_factory():
+                def program():
+                    for _ in range(400):
+                        yield Run(1 * MS)
+                        yield Sleep(1 * MS)
+                return program()
+
+            system.spawn(TaskSpec("sleepy", sleepy_factory), on_cpu=0)
+
+        system.run_for(1 * SEC)
+        print(f"--- {bug} [{variant}]")
+        print(f"  {system.scheduler.features.describe()}")
+        busy = node_busy_times(system)
+        print(f"  node busy core-seconds: "
+              f"{ {n: round(v / 1e6, 2) for n, v in busy.items()} }")
+        print(f"  idle-while-overloaded fraction: "
+              f"{sampler.violation_fraction:.1%}")
+        print(f"  {checker.summary()}")
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Regenerate a full markdown report of every experiment."""
+    from repro.experiments.figure2 import render_figure2, run_figure2
+    from repro.experiments.figure3 import run_figure3
+    from repro.experiments.figure5 import run_figure5
+    from repro.experiments.figures_topology import (
+        format_figure4,
+        format_table5,
+    )
+    from repro.experiments.table1 import format_table1, run_table1
+    from repro.experiments.table2 import format_table2, run_table2
+    from repro.experiments.table3 import format_table3, run_table3
+    from repro.experiments.table4 import format_table4
+
+    scale = args.scale
+    out = []
+    out.append("# wastedcores reproduction report\n")
+    out.append(f"(scale = {scale}; all times are simulator times)\n")
+
+    out.append("## Machine\n```")
+    out.append(format_table5())
+    out.append("")
+    out.append(format_figure4())
+    out.append("```\n")
+
+    out.append("## Table 1\n```")
+    out.append(format_table1(run_table1(scale=scale)))
+    out.append("```\n")
+
+    out.append("## Table 2\n```")
+    out.append(format_table2(run_table2(scale=min(scale * 5, 1.0), runs=1)))
+    out.append("```\n")
+
+    out.append("## Table 3\n```")
+    out.append(format_table3(run_table3(scale=scale)))
+    out.append("```\n")
+
+    out.append("## Table 4\n```")
+    out.append(format_table4())
+    out.append("```\n")
+
+    fig2 = run_figure2(scale=min(scale * 2, 1.0))
+    out.append("## Figure 2\n```")
+    out.append(
+        f"make: {fig2.buggy.make_seconds:.3f}s buggy vs "
+        f"{fig2.fixed.make_seconds:.3f}s fixed "
+        f"({fig2.make_improvement_pct:+.1f}%); "
+        f"idle R-node core-s {fig2.buggy.idle_node_core_seconds:.2f} vs "
+        f"{fig2.fixed.idle_node_core_seconds:.2f}"
+    )
+    out.append("```\n")
+    del render_figure2  # heatmap bodies omitted from the report
+
+    fig3 = run_figure3(scale=min(scale * 5, 1.0))
+    out.append("## Figure 3\n```")
+    out.append(
+        f"busy-core wakeups: {fig3.buggy.busy_wakeup_fraction:.1%} buggy "
+        f"vs {fig3.fixed.busy_wakeup_fraction:.1%} fixed"
+    )
+    out.append("```\n")
+
+    fig5 = run_figure5()
+    out.append("## Figure 5\n```")
+    out.append(
+        f"balancing coverage by core 0: {fig5.buggy.coverage:.1%} buggy "
+        f"vs {fig5.fixed.coverage:.1%} fixed"
+    )
+    out.append("```\n")
+
+    text = "\n".join(out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'The Linux Scheduler: a Decade of Wasted Cores' "
+            "(EuroSys 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("bugs", help="Table 4: the bug registry").set_defaults(
+        func=_cmd_bugs
+    )
+    sub.add_parser(
+        "topology", help="Table 5 / Figures 1 and 4: the machine"
+    ).set_defaults(func=_cmd_topology)
+
+    for name, func, default_scale, has_apps in (
+        ("table1", _cmd_table1, 0.2, True),
+        ("table3", _cmd_table3, 0.2, True),
+    ):
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        p.add_argument("--scale", type=float, default=default_scale)
+        if has_apps:
+            p.add_argument("--apps", nargs="*", default=None)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("table2", help="reproduce table 2 (TPC-H)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--runs", type=int, default=1)
+    p.set_defaults(func=_cmd_table2)
+
+    for name, func, default_scale in (
+        ("figure2", _cmd_figure2, 0.5),
+        ("figure3", _cmd_figure3, 1.0),
+    ):
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        p.add_argument("--scale", type=float, default=default_scale)
+        p.add_argument("--svg-dir", default=None)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("figure5", help="reproduce figure 5")
+    p.add_argument("--svg-dir", default=None)
+    p.set_defaults(func=_cmd_figure5)
+
+    p = sub.add_parser("overhead", help="sanity-checker overhead")
+    p.add_argument("--threads", type=int, default=512)
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser(
+        "report", help="regenerate a full markdown report of every "
+        "experiment"
+    )
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("demo", help="run one bug's live demo")
+    p.add_argument(
+        "bug",
+        choices=[
+            "group-imbalance", "group-construction",
+            "overload-on-wakeup", "missing-domains",
+        ],
+    )
+    p.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

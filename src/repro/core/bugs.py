@@ -1,0 +1,101 @@
+"""The bug registry (the paper's Table 4).
+
+Each entry ties a bug's published metadata (kernel versions, affected
+applications, maximum measured impact) to the feature flag that fixes it in
+this reproduction, so experiments and reports can be generated from one
+source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One scheduler performance bug from the paper."""
+
+    name: str
+    description: str
+    kernel_versions: str
+    impacted_applications: str
+    paper_max_impact: str
+    fix_flag: str
+    paper_section: str
+
+
+BUGS: Tuple[Bug, ...] = (
+    Bug(
+        name="Group Imbalance",
+        description=(
+            "When launching multiple applications with different thread "
+            "counts, some CPUs are idle while other CPUs are overloaded: "
+            "comparing scheduling-group average loads lets one high-load "
+            "thread conceal idle cores on its node."
+        ),
+        kernel_versions="2.6.38+",
+        impacted_applications="All",
+        paper_max_impact="13x",
+        fix_flag="fix_group_imbalance",
+        paper_section="3.1",
+    ),
+    Bug(
+        name="Scheduling Group Construction",
+        description=(
+            "No load balancing between nodes that are 2 hops apart: "
+            "cross-node scheduling groups are constructed from core 0's "
+            "perspective, so two distant nodes can appear together in every "
+            "group and their imbalance becomes invisible."
+        ),
+        kernel_versions="3.9+",
+        impacted_applications="All (requires taskset across distant nodes)",
+        paper_max_impact="27x",
+        fix_flag="fix_group_construction",
+        paper_section="3.2",
+    ),
+    Bug(
+        name="Overload-on-Wakeup",
+        description=(
+            "Threads wake up on overloaded cores while some other cores "
+            "are idle: wakeup placement only considers the waker's node for "
+            "cache reuse."
+        ),
+        kernel_versions="2.6.32+",
+        impacted_applications="Applications that sleep or wait",
+        paper_max_impact="22%",
+        fix_flag="fix_overload_on_wakeup",
+        paper_section="3.3",
+    ),
+    Bug(
+        name="Missing Scheduling Domains",
+        description=(
+            "The load is not balanced between NUMA nodes after a core is "
+            "disabled and re-enabled: domain regeneration drops the "
+            "cross-node step."
+        ),
+        kernel_versions="3.19+",
+        impacted_applications="All (requires a CPU hotplug cycle)",
+        paper_max_impact="138x",
+        fix_flag="fix_missing_domains",
+        paper_section="3.4",
+    ),
+)
+
+
+def bug_by_name(name: str) -> Bug:
+    """Case-insensitive lookup by (partial) bug name."""
+    needle = name.lower()
+    for bug in BUGS:
+        if needle in bug.name.lower():
+            return bug
+    raise KeyError(f"no bug matching {name!r}")
+
+
+def table4_rows() -> List[Tuple[str, str, str, str]]:
+    """(name, kernel versions, impacted applications, max impact) rows."""
+    return [
+        (b.name, b.kernel_versions, b.impacted_applications,
+         b.paper_max_impact)
+        for b in BUGS
+    ]

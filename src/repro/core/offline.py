@@ -1,0 +1,193 @@
+"""Offline invariant analysis over recorded traces.
+
+The online checker works on a live system; this module answers the same
+question from a trace: reconstruct every CPU's ``nr_running`` step function
+from the recorded events and find the intervals where some core sat idle
+while another held two or more runnable threads for longer than a
+threshold.  Traces round-trip through JSON-lines files so externally
+captured scheduling traces can be analyzed with the same code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.viz.events import (
+    BalanceEvent,
+    ConsideredEvent,
+    LifecycleEvent,
+    LoadEvent,
+    MigrationEvent,
+    NrRunningEvent,
+    TraceBuffer,
+    WakeupEvent,
+)
+
+_EVENT_TYPES = {
+    "nr_running": NrRunningEvent,
+    "load": LoadEvent,
+    "considered": ConsideredEvent,
+    "migration": MigrationEvent,
+    "wakeup": WakeupEvent,
+    "lifecycle": LifecycleEvent,
+    "balance": BalanceEvent,
+}
+_TYPE_NAMES = {v: k for k, v in _EVENT_TYPES.items()}
+
+
+@dataclass(frozen=True)
+class OfflineViolation:
+    """An interval during which the invariant was continuously violated."""
+
+    start_us: int
+    end_us: int
+    idle_cpus: Tuple[int, ...]
+    overloaded_cpus: Tuple[int, ...]
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+    def describe(self) -> str:
+        return (
+            f"[{self.start_us}us, {self.end_us}us] "
+            f"({self.duration_us / 1000:.1f}ms): idle {list(self.idle_cpus)}"
+            f" vs overloaded {list(self.overloaded_cpus)}"
+        )
+
+
+def _nr_running_steps(
+    trace: Iterable[object], num_cpus: int
+) -> List[Tuple[int, int, int]]:
+    """Sorted (time, cpu, nr_running) change points."""
+    steps = [
+        (e.time_us, e.cpu, e.nr_running)
+        for e in trace
+        if isinstance(e, NrRunningEvent) and 0 <= e.cpu < num_cpus
+    ]
+    steps.sort()
+    return steps
+
+
+def find_trace_violations(
+    trace: TraceBuffer,
+    num_cpus: int,
+    min_duration_us: int = 100_000,
+    end_us: Optional[int] = None,
+) -> List[OfflineViolation]:
+    """Intervals >= ``min_duration_us`` with an idle core and an overloaded core.
+
+    Affinity is not recorded in runqueue-size events, so this is the
+    affinity-blind version of the invariant -- an over-approximation that
+    the paper's heatmaps also show.  ``min_duration_us`` plays the role of
+    the online checker's monitoring window (default 100 ms).
+    """
+    steps = _nr_running_steps(trace, num_cpus)
+    if not steps:
+        return []
+    horizon = end_us if end_us is not None else steps[-1][0]
+    nr = [0] * num_cpus
+    violations: List[OfflineViolation] = []
+    active_since: Optional[int] = None
+    idle_seen: set = set()
+    over_seen: set = set()
+
+    def violated() -> bool:
+        return any(n == 0 for n in nr) and any(n >= 2 for n in nr)
+
+    def close(at: int) -> None:
+        nonlocal active_since
+        if active_since is not None:
+            if at - active_since >= min_duration_us:
+                violations.append(
+                    OfflineViolation(
+                        start_us=active_since,
+                        end_us=at,
+                        idle_cpus=tuple(sorted(idle_seen)),
+                        overloaded_cpus=tuple(sorted(over_seen)),
+                    )
+                )
+            active_since = None
+            idle_seen.clear()
+            over_seen.clear()
+
+    i = 0
+    while i < len(steps):
+        t = steps[i][0]
+        while i < len(steps) and steps[i][0] == t:
+            _, cpu, value = steps[i]
+            nr[cpu] = value
+            i += 1
+        if violated():
+            if active_since is None:
+                active_since = t
+            idle_seen.update(c for c, n in enumerate(nr) if n == 0)
+            over_seen.update(c for c, n in enumerate(nr) if n >= 2)
+        else:
+            close(t)
+    close(max(horizon, steps[-1][0]))
+    return violations
+
+
+def violation_time_fraction(
+    trace: TraceBuffer,
+    num_cpus: int,
+    span_us: int,
+    min_duration_us: int = 0,
+) -> float:
+    """Fraction of the observed span spent in a violated state."""
+    if span_us <= 0:
+        return 0.0
+    violations = find_trace_violations(
+        trace, num_cpus, min_duration_us=max(min_duration_us, 1)
+    )
+    total = sum(v.duration_us for v in violations)
+    return min(total / span_us, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip
+# ---------------------------------------------------------------------------
+
+
+def _event_to_obj(event: object) -> Dict[str, object]:
+    # The record-type marker key must not collide with any event field
+    # (LifecycleEvent has its own "kind"), hence "@event".
+    data = {
+        f: getattr(event, f)
+        for f in event.__dataclass_fields__  # type: ignore[attr-defined]
+    }
+    if isinstance(data.get("considered"), frozenset):
+        data["considered"] = sorted(data["considered"])
+    return {"@event": _TYPE_NAMES[type(event)], **data}
+
+
+def save_trace(trace: TraceBuffer, path: str) -> int:
+    """Write a trace as JSON lines; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for event in trace:
+            f.write(json.dumps(_event_to_obj(event)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str, capacity: Optional[int] = None) -> TraceBuffer:
+    """Read a JSON-lines trace produced by :func:`save_trace`."""
+    events: List[object] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            cls = _EVENT_TYPES[obj.pop("@event")]
+            if "considered" in obj:
+                obj["considered"] = frozenset(obj["considered"])
+            events.append(cls(**obj))
+    buffer = TraceBuffer(capacity or max(len(events), 1))
+    for event in events:
+        buffer.append(event)
+    return buffer

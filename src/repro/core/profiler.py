@@ -1,0 +1,99 @@
+"""Post-detection profiling -- the systemtap stand-in.
+
+When the sanity checker flags a bug it starts one of these for a short
+window (the paper profiles for 20 ms; systemtap costs ~7%, so profiling is
+never left on).  The profiler records every load-balancing decision
+(domain, local vs busiest metric, outcome) and every considered-core set,
+which is exactly what the paper used to understand why all balancing calls
+failed during a violation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from repro.viz.events import (
+    BalanceEvent,
+    ConsideredEvent,
+    Probe,
+    TraceBuffer,
+)
+
+
+class BalanceProfiler(Probe):
+    """Records balancing decisions into a bounded trace buffer."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.buffer = TraceBuffer(capacity)
+        self.active = False
+
+    def start(self) -> None:
+        self.active = True
+
+    def stop(self) -> None:
+        self.active = False
+
+    def on_balance(
+        self,
+        now: int,
+        cpu: int,
+        domain: str,
+        local_metric: float,
+        busiest_metric: Optional[float],
+        outcome: str,
+    ) -> None:
+        if self.active:
+            self.buffer.append(
+                BalanceEvent(
+                    now, cpu, domain, local_metric, busiest_metric, outcome
+                )
+            )
+
+    def on_considered(self, now, cpu, op, considered) -> None:
+        if self.active:
+            self.buffer.append(
+                ConsideredEvent(now, cpu, op, frozenset(considered))
+            )
+
+    # -- analysis ------------------------------------------------------------
+
+    def balance_events(self) -> List[BalanceEvent]:
+        return self.buffer.of_type(BalanceEvent)  # type: ignore[return-value]
+
+    def outcome_counts(self) -> Counter:
+        """How often each balancing outcome occurred, by (domain, outcome)."""
+        counts: Counter = Counter()
+        for event in self.balance_events():
+            outcome = event.outcome.split(":")[0]
+            counts[(event.domain, outcome)] += 1
+        return counts
+
+    def failed_fraction(self, domain: Optional[str] = None) -> float:
+        """Fraction of balancing calls that moved nothing.
+
+        During a live violation this is the paper's smoking gun: every call
+        concludes "balanced" even though cores sit idle.
+        """
+        events = self.balance_events()
+        if domain is not None:
+            events = [e for e in events if e.domain == domain]
+        if not events:
+            return 0.0
+        failed = sum(
+            1 for e in events if not e.outcome.startswith("moved")
+        )
+        return failed / len(events)
+
+    def summarize(self) -> str:
+        """Readable profile summary for bug reports."""
+        counts = self.outcome_counts()
+        if not counts:
+            return "no balancing activity recorded"
+        lines = ["balancing decisions during profile window:"]
+        for (domain, outcome), n in sorted(counts.items()):
+            lines.append(f"  {domain:12s} {outcome:10s} x{n}")
+        lines.append(
+            f"  failed fraction: {self.failed_fraction():.2%}"
+        )
+        return "\n".join(lines)

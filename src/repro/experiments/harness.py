@@ -1,0 +1,81 @@
+"""Shared experiment plumbing: configuration, scaling, repetition."""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass, replace
+from typing import Callable, FrozenSet, List, Sequence
+
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import SEC
+from repro.topology import amd_bulldozer_64
+from repro.topology.machine import MachineTopology
+
+
+def quick_scale(default: float = 1.0) -> float:
+    """Experiment scale factor; ``REPRO_SCALE`` overrides (e.g. 0.25)."""
+    value = os.environ.get("REPRO_SCALE")
+    if value is None:
+        return default
+    scale = float(value)
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Machine + scheduler configuration for one experiment run."""
+
+    features: SchedFeatures
+    seed: int = 42
+    scale: float = 1.0
+    deadline_us: int = 600 * SEC
+    topology_factory: Callable[[], MachineTopology] = amd_bulldozer_64
+
+    def with_features(self, features: SchedFeatures) -> "ExperimentConfig":
+        """A copy with a different scheduler configuration."""
+        return replace(self, features=features)
+
+    def build_system(self) -> System:
+        """A fresh simulated machine for this configuration."""
+        return System(
+            self.topology_factory(), self.features, seed=self.seed
+        )
+
+
+def node_cpuset(
+    topology: MachineTopology, nodes: Sequence[int]
+) -> FrozenSet[int]:
+    """``numactl --cpunodebind`` analog: the CPU set of the given nodes."""
+    return topology.cpus_of_nodes(list(nodes))
+
+
+def averaged(
+    run: Callable[[int], float],
+    repetitions: int = 1,
+    base_seed: int = 42,
+) -> float:
+    """Mean of ``run(seed)`` over varied seeds (the paper averages 5 runs)."""
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    values: List[float] = [
+        run(base_seed + 1009 * i) for i in range(repetitions)
+    ]
+    return statistics.mean(values)
+
+
+def speedup(time_with_bug: float, time_without_bug: float) -> float:
+    """Table 1/3's speedup factor: buggy time over fixed time."""
+    if time_without_bug <= 0:
+        raise ValueError("fixed time must be positive")
+    return time_with_bug / time_without_bug
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Table 2's improvement: negative percentage = faster than baseline."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (improved - baseline) / baseline * 100.0

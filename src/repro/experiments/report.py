@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and string-convertible cells."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Monospace rendering with aligned columns."""
+    str_rows = [[_cell(c) for c in row] for row in table.rows]
+    widths = [len(h) for h in table.headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [table.title, sep, fmt_row(list(table.headers)), sep]
+    lines.extend(fmt_row(row) for row in str_rows)
+    lines.append(sep)
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

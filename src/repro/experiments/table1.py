@@ -1,0 +1,120 @@
+"""Table 1: NAS applications under the Scheduling Group Construction bug.
+
+Paper setup: every NAS application launched with
+``numactl --cpunodebind=1,2`` on the 8-node machine, with as many threads
+as pinned cores (16).  Threads spawn on node 1 (children start on the
+parent's node); with the bug, the machine-level scheduling groups both
+contain nodes 1 and 2, so node 2 never steals and the whole application
+runs on one node.  Speedups blow past 2x because of spin-synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    node_cpuset,
+    speedup,
+)
+from repro.experiments.report import Table
+from repro.sched.features import SchedFeatures
+from repro.sim.timebase import SEC
+from repro.workloads.nas import all_nas_names, nas_app
+
+#: The nodes the paper pins to: two hops apart on the Bulldozer machine.
+PINNED_NODES = (1, 2)
+
+
+@dataclass
+class Table1Row:
+    """One application's times under both configurations."""
+
+    app: str
+    time_with_bug_s: float
+    time_without_bug_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Buggy time over fixed time."""
+        return speedup(self.time_with_bug_s, self.time_without_bug_s)
+
+
+def run_nas_pinned(
+    config: ExperimentConfig,
+    app_name: str,
+    nr_threads: Optional[int] = None,
+) -> float:
+    """One NAS run pinned to ``PINNED_NODES``; returns completion seconds."""
+    system = config.build_system()
+    topo = system.topology
+    allowed = node_cpuset(topo, PINNED_NODES)
+    if nr_threads is None:
+        nr_threads = len(allowed)
+    app = nas_app(
+        app_name,
+        nr_threads,
+        allowed_cpus=allowed,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    # Threads spawn from a parent on node 1 (ssh session's shell).
+    parent = min(topo.cpus_of_node(PINNED_NODES[0]))
+    tasks = [system.spawn(spec, parent_cpu=parent) for spec in app.thread_specs()]
+    done = system.run_until_done(tasks, config.deadline_us)
+    if not done:
+        return config.deadline_us / SEC
+    return system.now / SEC
+
+
+def run_table1(
+    scale: float = 0.25,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    deadline_us: int = 600 * SEC,
+) -> List[Table1Row]:
+    """Both configurations for every app."""
+    rows: List[Table1Row] = []
+    buggy = ExperimentConfig(
+        SchedFeatures().without_autogroup(),
+        seed=seed, scale=scale, deadline_us=deadline_us,
+    )
+    fixed = buggy.with_features(
+        SchedFeatures().with_fixes("group_construction").without_autogroup()
+    )
+    for app_name in apps or all_nas_names():
+        t_bug = run_nas_pinned(buggy, app_name)
+        t_fix = run_nas_pinned(fixed, app_name)
+        rows.append(Table1Row(app_name, t_bug, t_fix))
+    return rows
+
+
+#: Speedup factors the paper reports, for shape comparison.
+PAPER_SPEEDUPS: Dict[str, float] = {
+    "bt": 1.75, "cg": 2.73, "ep": 2.0, "ft": 1.92, "is": 1.33,
+    "lu": 27.0, "mg": 2.03, "sp": 2.23, "ua": 3.63,
+}
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render the reproduced Table 1 with the paper's factors."""
+    table = Table(
+        "Table 1: NAS with the Scheduling Group Construction bug "
+        "(numactl --cpunodebind=1,2)",
+        ["app", "time w/ bug (s)", "time w/o bug (s)", "speedup (x)",
+         "paper (x)"],
+    )
+    for row in rows:
+        table.add_row(
+            row.app,
+            f"{row.time_with_bug_s:.3f}",
+            f"{row.time_without_bug_s:.3f}",
+            f"{row.speedup:.2f}",
+            f"{PAPER_SPEEDUPS.get(row.app, float('nan')):.2f}",
+        )
+    table.add_note(
+        "absolute times are simulator-scaled; the reproduction target is "
+        "the speedup column's shape (all > 1, lu extreme)"
+    )
+    return table.render()

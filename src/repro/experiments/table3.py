@@ -1,0 +1,112 @@
+"""Table 3: NAS applications under the Missing Scheduling Domains bug.
+
+Paper setup: one core is disabled and re-enabled through the /proc
+interface, after which the cross-node scheduling domains are gone.  Every
+NAS application is then launched with 64 threads (the machine default);
+all threads end up on the parent's node (one node instead of eight).  The
+expected slowdown is 8x, but spin-synchronization drives lu to 138x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentConfig, speedup
+from repro.experiments.report import Table
+from repro.sched.features import SchedFeatures
+from repro.sim.timebase import SEC
+from repro.workloads.nas import all_nas_names, nas_app
+
+#: The core the experiment disables and re-enables.
+HOTPLUGGED_CPU = 9
+
+
+@dataclass
+class Table3Row:
+    """One application's times under both configurations."""
+
+    app: str
+    time_with_bug_s: float
+    time_without_bug_s: float
+    timed_out: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Buggy time over fixed time."""
+        return speedup(self.time_with_bug_s, self.time_without_bug_s)
+
+
+def run_nas_after_hotplug(
+    config: ExperimentConfig,
+    app_name: str,
+    nr_threads: Optional[int] = None,
+) -> tuple:
+    """Disable+re-enable a core, launch the app; (seconds, timed_out)."""
+    system = config.build_system()
+    topo = system.topology
+    if nr_threads is None:
+        nr_threads = topo.num_cpus
+    system.hotplug_cpu(HOTPLUGGED_CPU, False)
+    system.hotplug_cpu(HOTPLUGGED_CPU, True)
+    app = nas_app(
+        app_name, nr_threads, seed=config.seed, scale=config.scale
+    )
+    # All threads fork from the sshd-spawned shell on node 0.
+    tasks = [system.spawn(spec, parent_cpu=0) for spec in app.thread_specs()]
+    done = system.run_until_done(tasks, config.deadline_us)
+    return system.now / SEC, not done
+
+
+def run_table3(
+    scale: float = 0.1,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    deadline_us: int = 900 * SEC,
+) -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    buggy = ExperimentConfig(
+        SchedFeatures().without_autogroup(),
+        seed=seed, scale=scale, deadline_us=deadline_us,
+    )
+    fixed = buggy.with_features(
+        SchedFeatures().with_fixes("missing_domains").without_autogroup()
+    )
+    for app_name in apps or all_nas_names():
+        t_bug, timeout_bug = run_nas_after_hotplug(buggy, app_name)
+        t_fix, _ = run_nas_after_hotplug(fixed, app_name)
+        rows.append(Table3Row(app_name, t_bug, t_fix, timed_out=timeout_bug))
+    return rows
+
+
+#: Speedup factors from the paper's Table 3.
+PAPER_SPEEDUPS: Dict[str, float] = {
+    "bt": 5.24, "cg": 24.9, "ep": 4.0, "ft": 7.69, "is": 5.36,
+    "lu": 137.59, "mg": 9.03, "sp": 9.06, "ua": 64.27,
+}
+
+
+def format_table3(rows: List[Table3Row]) -> str:
+    """Render the reproduced Table 3 with the paper's factors."""
+    table = Table(
+        "Table 3: NAS (64 threads) with the Missing Scheduling Domains bug "
+        "(after a core disable/re-enable)",
+        ["app", "time w/ bug (s)", "time w/o bug (s)", "speedup (x)",
+         "paper (x)"],
+    )
+    for row in rows:
+        bug_time = f"{row.time_with_bug_s:.3f}"
+        if row.timed_out:
+            bug_time = f">={bug_time}"
+        table.add_row(
+            row.app,
+            bug_time,
+            f"{row.time_without_bug_s:.3f}",
+            f"{row.speedup:.2f}",
+            f"{PAPER_SPEEDUPS.get(row.app, float('nan')):.2f}",
+        )
+    table.add_note(
+        "threads run on one node instead of eight under the bug; factors "
+        "beyond 8x are spin-synchronization waste (lu/ua extremes)"
+    )
+    return table.render()

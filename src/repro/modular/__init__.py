@@ -1,0 +1,46 @@
+"""A prototype of the paper's Section 5 vision: a modular scheduler.
+
+    "We envision a scheduler that is a collection of modules: the core
+    module and optimization modules. [...] The core module should be able
+    to take suggestions from optimization modules and to act on them
+    whenever feasible, while always maintaining the basic invariants,
+    such as not letting cores sit idle while there are runnable threads."
+
+:mod:`repro.modular` implements exactly that architecture on top of the
+simulator:
+
+* :class:`~repro.modular.modules.OptimizationModule` -- the suggestion
+  interface (wakeup placement today; the shape generalizes);
+* :class:`~repro.modular.modules.CacheAffinityModule` -- "wake a thread
+  on a core where it recently ran" (deliberately including the buggy
+  node-restricted behavior, to show the guard neutralizing it);
+* :class:`~repro.modular.modules.LeastLoadedModule` -- a contention-style
+  module preferring the least-loaded allowed core;
+* :class:`~repro.modular.core.InvariantGuardedScheduler` -- the core
+  module: it consults the optimization modules in priority order and
+  accepts a suggestion only if it does not violate the work-conserving
+  invariant (never place a thread on a busy core while an allowed core
+  is idle); otherwise it overrides with the longest-idle core.
+
+The ablation benchmark shows the punchline: even with the *buggy*
+cache-affinity module plugged in, the guarded core stays work-conserving
+-- the invariant enforcement alone neutralizes the Overload-on-Wakeup
+bug.
+"""
+
+from repro.modular.core import InvariantGuardedScheduler, ModularSystem
+from repro.modular.modules import (
+    CacheAffinityModule,
+    LeastLoadedModule,
+    OptimizationModule,
+    Suggestion,
+)
+
+__all__ = [
+    "CacheAffinityModule",
+    "InvariantGuardedScheduler",
+    "LeastLoadedModule",
+    "ModularSystem",
+    "OptimizationModule",
+    "Suggestion",
+]

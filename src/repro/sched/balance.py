@@ -1,0 +1,375 @@
+"""Hierarchical load balancing -- the paper's Algorithm 1.
+
+For every scheduling domain of a CPU, bottom-up:
+
+1. only the *designated* core balances the domain -- the first idle core of
+   the domain if any core is idle, otherwise its first core (Lines 2-9);
+2. the load of every scheduling group is computed (Line 10-12);
+3. the busiest group is picked, preferring overloaded then imbalanced groups
+   (Line 13);
+4. if the busiest group's load does not exceed the local group's, the level
+   is considered balanced (Lines 15-16);
+5. otherwise tasks move from the busiest CPU of that group to the balancing
+   CPU, excluding CPUs whose tasks are all pinned elsewhere (Lines 18-23).
+
+The **Group Imbalance** bug (Section 3.1) is step 3/4's metric: mainline
+compares group *average* loads, so one very loaded core (a high-load R
+thread) conceals idle cores on its node.  The fix compares group *minimum*
+loads: if another group's least-loaded core is still busier than ours, a
+steal is always justified.
+
+Also here: ``newidle_balance`` ("emergency" balancing when a core is about
+to idle) and the NOHZ machinery that lets tickless idle cores be balanced on
+behalf of (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.domains import SchedDomain, SchedGroup
+    from repro.sched.scheduler import Scheduler
+    from repro.sched.task import Task
+
+
+@dataclass
+class GroupStats:
+    """Load statistics of one scheduling group, as the balancer sees it."""
+
+    group: "SchedGroup"
+    cpus: Tuple[int, ...]
+    avg_load: float
+    min_load: float
+    max_load: float
+    nr_running: int
+    capacity: int
+
+    @property
+    def overloaded(self) -> bool:
+        """More runnable tasks than CPUs."""
+        return self.nr_running > self.capacity
+
+    @property
+    def imbalanced(self) -> bool:
+        """Uneven queue depths inside the group (taskset corner cases)."""
+        return self.max_nr - self.min_nr >= 2
+
+    # populated alongside load stats
+    min_nr: int = 0
+    max_nr: int = 0
+
+
+def group_metric(sched: "Scheduler", stats: GroupStats) -> float:
+    """The load value groups are compared by.
+
+    Average on the buggy path; minimum when the Group Imbalance fix is on.
+    Computing either has the same cost, as the paper notes.
+    """
+    if sched.features.fix_group_imbalance:
+        return stats.min_load
+    return stats.avg_load
+
+
+def compute_group_stats(
+    sched: "Scheduler", group: "SchedGroup", now: int
+) -> Optional[GroupStats]:
+    """Per-CPU loads folded into group statistics; None if no CPU is online."""
+    cpus = tuple(
+        sorted(c for c in group.cpus if sched.cpu(c).online)
+    )
+    if not cpus:
+        return None
+    loads = [sched.cpu(c).rq.load(now) for c in cpus]
+    nrs = [sched.cpu(c).rq.nr_running for c in cpus]
+    return GroupStats(
+        group=group,
+        cpus=cpus,
+        avg_load=sum(loads) / len(loads),
+        min_load=min(loads),
+        max_load=max(loads),
+        nr_running=sum(nrs),
+        capacity=len(cpus),
+        min_nr=min(nrs),
+        max_nr=max(nrs),
+    )
+
+
+def find_busiest_group(
+    sched: "Scheduler",
+    domain: "SchedDomain",
+    dst_cpu: int,
+    now: int,
+) -> Tuple[Optional[GroupStats], Optional[GroupStats]]:
+    """(busiest, local) group stats for a balancing attempt.
+
+    Busiest is the overloaded group with the highest metric, else the
+    imbalanced group with the highest metric, else the group with the
+    highest metric -- the paper's Line 13.  Returns ``(None, local)`` when
+    the domain is already balanced from ``dst_cpu``'s point of view.
+    """
+    local_stats: Optional[GroupStats] = None
+    others: List[GroupStats] = []
+    examined: List[int] = []
+    for group in domain.groups:
+        stats = compute_group_stats(sched, group, now)
+        if stats is None:
+            continue
+        examined.extend(stats.cpus)
+        if dst_cpu in group.cpus and local_stats is None:
+            local_stats = stats
+        else:
+            others.append(stats)
+    sched.probe.on_considered(now, dst_cpu, "load_balance", examined)
+    if local_stats is None or not others:
+        return None, local_stats
+
+    def best_of(candidates: Sequence[GroupStats]) -> Optional[GroupStats]:
+        return max(
+            candidates, key=lambda s: group_metric(sched, s), default=None
+        )
+
+    busiest = best_of([s for s in others if s.overloaded])
+    if busiest is None:
+        busiest = best_of([s for s in others if s.imbalanced])
+    if busiest is None:
+        busiest = best_of(others)
+    if busiest is None:
+        return None, local_stats
+    # The busiest group must exceed the local one by the domain's
+    # imbalance percentage, or migrating is not worth the disturbance
+    # (and integer task counts would ping-pong forever).
+    threshold = group_metric(sched, local_stats) * domain.imbalance_ratio
+    if group_metric(sched, busiest) <= threshold:
+        return None, local_stats
+    return busiest, local_stats
+
+
+def pick_busiest_cpu(
+    sched: "Scheduler",
+    stats: GroupStats,
+    excluded: frozenset,
+    now: int,
+) -> Optional[int]:
+    """The CPU with the most queued work in the group (Line 18)."""
+    best = None
+    best_key = None
+    for cpu_id in stats.cpus:
+        if cpu_id in excluded:
+            continue
+        rq = sched.cpu(cpu_id).rq
+        if rq.nr_queued == 0:
+            continue  # nothing stealable: the running task cannot move
+        if rq.curr is None and rq.nr_queued < 2:
+            # A queue with work but no running task is mid-dispatch (the
+            # resched IPI window); stealing its only task would just move
+            # the imbalance around.
+            continue
+        key = (rq.load(now), rq.nr_running)
+        if best_key is None or key > best_key:
+            best = cpu_id
+            best_key = key
+    return best
+
+
+def detach_candidates(
+    sched: "Scheduler", src_cpu: int, dst_cpu: int
+) -> List["Task"]:
+    """Queued tasks on ``src_cpu`` whose affinity allows ``dst_cpu``."""
+    rq = sched.cpu(src_cpu).rq
+    return [t for t in rq.queued_tasks() if t.can_run_on(dst_cpu)]
+
+
+def compute_imbalance(
+    sched: "Scheduler", busiest: GroupStats, local: GroupStats
+) -> float:
+    """The load budget a balancing attempt may migrate.
+
+    The kernel's ``calculate_imbalance``: the amount of load that would
+    bring the two groups to their common level, expressed in task-load
+    units.  When the group metrics are nearly equal this is ~0 and nothing
+    moves -- the precise mechanism that makes the Group Imbalance bug
+    silent (the averages look equal even though cores idle).
+    """
+    gap = group_metric(sched, busiest) - group_metric(sched, local)
+    if gap <= 0:
+        return 0.0
+    return gap / 2.0 * min(busiest.capacity, local.capacity)
+
+
+def move_tasks(
+    sched: "Scheduler",
+    src_cpu: int,
+    dst_cpu: int,
+    now: int,
+    reason: str,
+    budget: float,
+) -> int:
+    """Migrate queued tasks from ``src_cpu``, spending at most ``budget``
+    load (the kernel's ``detach_tasks`` loop).
+
+    A task moves only when half its load fits the remaining budget; at
+    least one task moves when the destination is idle and the budget is
+    positive (the work-conserving "emergency" case).  Returns the number
+    moved.
+    """
+    if budget <= 0:
+        return 0
+    moved = 0
+    src_rq = sched.cpu(src_cpu).rq
+    dst_rq = sched.cpu(dst_cpu).rq
+    remaining = budget
+    while True:
+        candidates = detach_candidates(sched, src_cpu, dst_cpu)
+        if not candidates:
+            break
+        if src_rq.load(now) <= dst_rq.load(now):
+            break  # pairwise overshoot guard
+        must_move = moved == 0 and dst_rq.nr_running == 0
+        fitting = [t for t in candidates if 2 * t.load(now) <= remaining]
+        if fitting:
+            task = max(fitting, key=lambda t: t.load(now))
+        elif must_move:
+            task = min(candidates, key=lambda t: t.load(now))
+        else:
+            break
+        sched.migrate_task(task, src_cpu, dst_cpu, now, reason)
+        remaining -= task.load(now)
+        moved += 1
+        if dst_rq.nr_running >= src_rq.nr_running:
+            break
+    return moved
+
+
+def balance_domain(
+    sched: "Scheduler",
+    domain: "SchedDomain",
+    dst_cpu: int,
+    now: int,
+) -> int:
+    """One balancing attempt at one domain level (Lines 10-23)."""
+    busiest, local = find_busiest_group(sched, domain, dst_cpu, now)
+    local_metric = group_metric(sched, local) if local is not None else 0.0
+    if busiest is None:
+        sched.probe.on_balance(
+            now, dst_cpu, domain.name, local_metric, None, "balanced"
+        )
+        return 0
+    busiest_metric = group_metric(sched, busiest)
+    budget = compute_imbalance(sched, busiest, local)
+    excluded: set = set()
+    while True:
+        src_cpu = pick_busiest_cpu(sched, busiest, frozenset(excluded), now)
+        if src_cpu is None or src_cpu == dst_cpu:
+            sched.probe.on_balance(
+                now, dst_cpu, domain.name, local_metric, busiest_metric,
+                "blocked",
+            )
+            return 0
+        moved = move_tasks(
+            sched, src_cpu, dst_cpu, now, f"balance:{domain.name}", budget
+        )
+        if moved:
+            sched.probe.on_balance(
+                now, dst_cpu, domain.name, local_metric, busiest_metric,
+                f"moved:{moved}",
+            )
+            return moved
+        # Lines 20-22: every candidate was pinned away from us; try the
+        # next busiest CPU of the group.
+        excluded.add(src_cpu)
+
+
+def designated_cpu(
+    sched: "Scheduler", domain: "SchedDomain", cpu_id: int
+) -> int:
+    """The core responsible for balancing this domain (Lines 2-6).
+
+    The first idle core of the balancing CPU's local group when one exists
+    (its free cycles pay for the balancing), otherwise the group's first
+    core -- the kernel's ``should_we_balance`` election.  Overlapping NUMA
+    groups restrict the election to the group's balance mask: that is what
+    allows an idle remote node to balance on its own behalf once the
+    Scheduling Group Construction fix builds per-perspective groups.
+    """
+    try:
+        local = domain.local_group(cpu_id)
+    except ValueError:
+        return -1
+    online = sorted(
+        c for c in local.balance_mask() if sched.cpu(c).online
+    )
+    for candidate in online:
+        if sched.cpu(candidate).is_idle:
+            return candidate
+    return online[0] if online else -1
+
+
+def periodic_balance(
+    sched: "Scheduler", cpu_id: int, now: int, force: bool = False
+) -> int:
+    """Run Algorithm 1 for one CPU across all its domains, bottom-up.
+
+    Honors the designated-core rule and each level's balancing interval
+    unless ``force`` is set (used by tests and the NOHZ path's first kick).
+    """
+    moved = 0
+    cpu = sched.cpu(cpu_id)
+    domains = sched.domain_builder.domains_of(cpu_id)
+    while len(cpu.next_balance_us) < len(domains):
+        cpu.next_balance_us.append(-1)
+    for domain in domains:
+        if cpu_id != designated_cpu(sched, domain, cpu_id):
+            continue
+        stamp = cpu.next_balance_us[domain.level]
+        if stamp < 0:
+            # A level never balanced before is immediately due: domains
+            # were created long "before" the workload (the machine has
+            # been up), so the first interval has long expired.
+            stamp = now
+        if not force and now < stamp:
+            cpu.next_balance_us[domain.level] = stamp
+            continue
+        cpu.next_balance_us[domain.level] = now + domain.balance_interval_us
+        moved += balance_domain(sched, domain, cpu_id, now)
+    return moved
+
+
+def newidle_balance(sched: "Scheduler", cpu_id: int, now: int) -> int:
+    """Emergency balancing when a core is about to go idle.
+
+    Walks the domains bottom-up and stops at the first level that yields
+    work.  Uses the same ``find_busiest_group`` logic -- and therefore
+    inherits the same bugs.
+    """
+    moved = 0
+    for domain in sched.domain_builder.domains_of(cpu_id):
+        moved += balance_domain(sched, domain, cpu_id, now)
+        if moved:
+            break
+    return moved
+
+
+def nohz_kick_target(sched: "Scheduler") -> Optional[int]:
+    """The tickless idle core to wake as the NOHZ balancer (lowest id)."""
+    for cpu in sched.cpus:
+        if cpu.online and cpu.is_idle and cpu.tickless:
+            return cpu.cpu_id
+    return None
+
+
+def nohz_idle_balance(sched: "Scheduler", balancer_cpu: int, now: int) -> int:
+    """Periodic balancing run by the NOHZ balancer for all tickless cores.
+
+    The balancer core runs the load-balancing routine "for itself and on
+    behalf of all tickless idle cores" -- each idle core is balanced from
+    its own perspective (steals land on that core).
+    """
+    sched.cpu(balancer_cpu).nohz_balancer = True
+    moved = 0
+    for cpu in sched.cpus:
+        if not cpu.online or not cpu.is_idle:
+            continue
+        moved += periodic_balance(sched, cpu.cpu_id, now)
+    return moved

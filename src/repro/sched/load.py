@@ -1,0 +1,84 @@
+"""The load-tracking metric.
+
+The paper (Section 2.2.1): *"CFS balances runqueues not just based on
+weights, but based on a metric called load, which is the combination of the
+thread's weight and its average CPU utilization"*, further divided by the
+thread count of the task's autogroup.
+
+We model the kernel's decaying utilization average (PELT) with a continuous
+exponential moving average over run/idle intervals: utilization converges
+toward 1 while the task runs and toward 0 while it sleeps, with the kernel's
+~32 ms half-life.  The tracker is timestamp-based so sleeping tasks cost
+nothing until they are observed again.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Half-life of the utilization average, microseconds (PELT uses 32 ms).
+UTIL_HALFLIFE_US = 32_000
+
+#: Exponential time constant tau such that 0.5 = exp(-halflife / tau).
+UTIL_TAU_US = UTIL_HALFLIFE_US / math.log(2.0)
+
+
+class LoadTracker:
+    """Decaying CPU-utilization average for one task.
+
+    ``util`` is a float in [0, 1]: the fraction of recent wall time the task
+    spent executing.  Call :meth:`update` whenever the task's running state
+    is about to change (or when a fresh value is needed), passing whether the
+    task was running *since the previous update*.
+    """
+
+    __slots__ = ("util", "last_update_us")
+
+    def __init__(self, now: int = 0, initial_util: float = 1.0):
+        # New tasks start at full utilization like the kernel, which makes a
+        # fork-heavy workload immediately visible to the balancer.
+        self.util = initial_util
+        self.last_update_us = now
+
+    def update(self, now: int, was_running: bool) -> float:
+        """Fold the interval ``[last_update, now]`` into the average.
+
+        Returns the new utilization.  ``now`` earlier than the last update
+        is ignored (can happen when several subsystems observe the same
+        microsecond).
+        """
+        delta = now - self.last_update_us
+        if delta <= 0:
+            return self.util
+        target = 1.0 if was_running else 0.0
+        decay = math.exp(-delta / UTIL_TAU_US)
+        self.util = target + (self.util - target) * decay
+        self.last_update_us = now
+        return self.util
+
+    def peek(self, now: int, is_running: bool) -> float:
+        """Utilization at ``now`` without mutating the tracker."""
+        delta = now - self.last_update_us
+        if delta <= 0:
+            return self.util
+        target = 1.0 if is_running else 0.0
+        decay = math.exp(-delta / UTIL_TAU_US)
+        return target + (self.util - target) * decay
+
+    def __repr__(self) -> str:
+        return f"LoadTracker(util={self.util:.3f}, at={self.last_update_us})"
+
+
+def task_load(weight: int, util: float, group_divisor: int) -> float:
+    """The balancing load of one task.
+
+    ``weight * utilization / autogroup-thread-count`` -- exactly the three
+    ingredients the paper names.  A sleeping-but-runnable task keeps its
+    recent utilization, so load decays smoothly rather than dropping to zero.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    if group_divisor <= 0:
+        raise ValueError(f"group divisor must be positive, got {group_divisor}")
+    util = min(max(util, 0.0), 1.0)
+    return weight * util / group_divisor

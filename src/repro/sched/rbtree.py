@@ -1,0 +1,367 @@
+"""Red-black tree: the CFS timeline structure.
+
+CFS keeps runnable tasks sorted by vruntime in a red-black tree and always
+picks the leftmost node.  This is a full, from-scratch implementation with
+insert, delete, leftmost lookup and an in-order iterator; keys are arbitrary
+comparable tuples (the runqueue uses ``(vruntime, tid)`` so keys are unique).
+
+Invariants (checked by :meth:`RBTree.validate` and exercised by the
+hypothesis test-suite):
+
+1. every node is red or black;
+2. the root is black;
+3. a red node has no red child;
+4. every root-to-leaf path contains the same number of black nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.color = RED
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+
+
+class RBTree:
+    """A classic red-black tree with unique, totally-ordered keys."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` -> ``value``; raises ``KeyError`` on duplicates."""
+        parent = None
+        cur = self._root
+        while cur is not None:
+            parent = cur
+            if key < cur.key:
+                cur = cur.left
+            elif cur.key < key:
+                cur = cur.right
+            else:
+                raise KeyError(f"duplicate key {key!r}")
+        node = _Node(key, value)
+        node.parent = parent
+        if parent is None:
+            self._root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        self._insert_fixup(node)
+
+    def remove(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raises ``KeyError`` if absent."""
+        node = self._find(key)
+        if node is None:
+            raise KeyError(f"key {key!r} not in tree")
+        value = node.value
+        self._delete(node)
+        self._size -= 1
+        return value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored at ``key``, or ``default``."""
+        node = self._find(key)
+        return default if node is None else node.value
+
+    def leftmost(self) -> Optional[Tuple[Any, Any]]:
+        """The smallest ``(key, value)`` pair, or ``None`` when empty.
+
+        This is CFS's "pick next": the task with the least vruntime.
+        """
+        if self._root is None:
+            return None
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def rightmost(self) -> Optional[Tuple[Any, Any]]:
+        """The largest ``(key, value)`` pair, or ``None`` when empty."""
+        if self._root is None:
+            return None
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def pop_leftmost(self) -> Tuple[Any, Any]:
+        """Remove and return the smallest pair; raises ``KeyError`` if empty."""
+        pair = self.leftmost()
+        if pair is None:
+            raise KeyError("pop from empty RBTree")
+        self.remove(pair[0])
+        return pair
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order (ascending key) iterator over ``(key, value)`` pairs."""
+        yield from self._inorder(self._root)
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def height(self) -> int:
+        """Tree height in edges; -1 for an empty tree (diagnostics only)."""
+
+        def depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return -1
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root)
+
+    def validate(self) -> None:
+        """Check all red-black invariants; raises ``AssertionError``."""
+        if self._root is not None:
+            assert self._root.color == BLACK, "root must be black"
+        count = self._validate_node(self._root, None, None)[1]
+        assert count == self._size, (
+            f"size mismatch: counted {count}, recorded {self._size}"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate_node(self, node, lo, hi):
+        """Return (black-height, node-count) of the subtree; assert order."""
+        if node is None:
+            return 1, 0
+        if lo is not None:
+            assert lo < node.key, "BST order violated (left bound)"
+        if hi is not None:
+            assert node.key < hi, "BST order violated (right bound)"
+        if node.color == RED:
+            for child in (node.left, node.right):
+                assert child is None or child.color == BLACK, (
+                    "red node has a red child"
+                )
+        lh, lc = self._validate_node(node.left, lo, node.key)
+        rh, rc = self._validate_node(node.right, node.key, hi)
+        assert lh == rh, "black heights differ"
+        return lh + (1 if node.color == BLACK else 0), lc + rc + 1
+
+    def _inorder(self, node: Optional[_Node]) -> Iterator[Tuple[Any, Any]]:
+        # Iterative traversal: recursion would blow the stack on big queues.
+        stack = []
+        cur = node
+        while stack or cur is not None:
+            while cur is not None:
+                stack.append(cur)
+                cur = cur.left
+            cur = stack.pop()
+            yield cur.key, cur.value
+            cur = cur.right
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        cur = self._root
+        while cur is not None:
+            if key < cur.key:
+                cur = cur.left
+            elif cur.key < key:
+                cur = cur.right
+            else:
+                return cur
+        return None
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent is not None and z.parent.color == RED:
+            grand = z.parent.parent
+            assert grand is not None  # red parent implies a grandparent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        assert self._root is not None
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: Optional[_Node]) -> None:
+        if u.parent is None:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def _delete(self, z: _Node) -> None:
+        # CLRS delete with a None-safe fixup (no sentinel node): track the
+        # fixup position by (node, parent) so a None child still fixes up.
+        y = z
+        y_original_color = y.color
+        if z.left is None:
+            x, x_parent = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, x_parent = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == BLACK:
+            self._delete_fixup(x, x_parent)
+
+    def _delete_fixup(self, x: Optional[_Node], parent: Optional[_Node]) -> None:
+        while x is not self._root and (x is None or x.color == BLACK):
+            assert parent is not None
+            if x is parent.left:
+                sibling = parent.right
+                assert sibling is not None  # black-height guarantees it
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                    assert sibling is not None
+                if (sibling.left is None or sibling.left.color == BLACK) and (
+                    sibling.right is None or sibling.right.color == BLACK
+                ):
+                    sibling.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if sibling.right is None or sibling.right.color == BLACK:
+                        if sibling.left is not None:
+                            sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                        assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    if sibling.right is not None:
+                        sibling.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self._root
+                    parent = None
+            else:
+                sibling = parent.left
+                assert sibling is not None
+                if sibling.color == RED:
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                    assert sibling is not None
+                if (sibling.left is None or sibling.left.color == BLACK) and (
+                    sibling.right is None or sibling.right.color == BLACK
+                ):
+                    sibling.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if sibling.left is None or sibling.left.color == BLACK:
+                        if sibling.right is not None:
+                            sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                        assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    if sibling.left is not None:
+                        sibling.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self._root
+                    parent = None
+        if x is not None:
+            x.color = BLACK

@@ -1,0 +1,160 @@
+"""Per-CPU runqueue (the kernel's ``cfs_rq``).
+
+Runnable tasks wait in a red-black tree sorted by vruntime; the running task
+is kept outside the tree (like the kernel).  ``nr_running`` counts both, and
+is the quantity both the paper's heatmaps (Figure 2a) and the sanity
+checker's invariant are defined over.
+
+The queue reports every ``nr_running`` and load change to an optional probe,
+mirroring the paper's instrumentation of ``add_nr_running`` /
+``sub_nr_running`` and ``account_entity_enqueue``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.sched.rbtree import RBTree
+from repro.sched.task import Task, TaskState
+from repro.sim.timebase import SCHED_LATENCY_US
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.viz.events import Probe
+
+
+class RunQueue:
+    """The CFS runqueue of one CPU."""
+
+    def __init__(self, cpu_id: int, probe: Optional["Probe"] = None):
+        self.cpu_id = cpu_id
+        self.probe = probe
+        self._tree = RBTree()
+        #: Task currently on the CPU (not in the tree), if any.
+        self.curr: Optional[Task] = None
+        #: Monotonic floor for newcomers' vruntime.
+        self.min_vruntime = 0
+
+    # -- size ----------------------------------------------------------------
+
+    @property
+    def nr_running(self) -> int:
+        """Runnable tasks on this CPU, including the one executing."""
+        return len(self._tree) + (1 if self.curr is not None else 0)
+
+    @property
+    def nr_queued(self) -> int:
+        """Tasks waiting in the tree (excluding the running one)."""
+        return len(self._tree)
+
+    def is_idle(self) -> bool:
+        return self.nr_running == 0
+
+    # -- enqueue / dequeue -----------------------------------------------------
+
+    def enqueue(self, task: Task, now: int, wakeup: bool = False) -> None:
+        """Add a runnable task to the tree.
+
+        On wakeup the task's vruntime is clamped to
+        ``min_vruntime - latency/2`` like the kernel's ``place_entity``: a
+        long sleeper gets a small bonus but cannot starve the queue.
+        """
+        if task.state is TaskState.RUNNING:
+            raise ValueError(f"{task} is running; dequeue it first")
+        if wakeup or task.state is TaskState.NEW:
+            bonus = SCHED_LATENCY_US // 2 if wakeup else 0
+            floor = max(self.min_vruntime - bonus, 0)
+            task.vruntime = max(task.vruntime, floor)
+        task.state = TaskState.RUNNABLE
+        task.cpu = self.cpu_id
+        task.stats.last_enqueue_us = now
+        self._tree.insert((task.vruntime, task.tid), task)
+        self._notify(now)
+
+    def dequeue(self, task: Task, now: int) -> None:
+        """Remove a queued (not running) task from the tree."""
+        self._tree.remove((task.vruntime, task.tid))
+        self._notify(now)
+
+    def requeue(self, task: Task, now: int) -> None:
+        """Re-sort a queued task after its vruntime changed."""
+        self._tree.remove((task.vruntime, task.tid))
+        self._tree.insert((task.vruntime, task.tid), task)
+
+    def set_current(self, task: Optional[Task], now: int) -> None:
+        """Install (or clear) the task executing on this CPU."""
+        self.curr = task
+        if task is not None:
+            task.state = TaskState.RUNNING
+            task.cpu = self.cpu_id
+            task.prev_cpu = self.cpu_id
+        self._notify(now)
+
+    def put_prev(self, task: Task, now: int) -> None:
+        """Return the previously-running task to the tree (preemption)."""
+        if self.curr is not task:
+            raise ValueError(f"{task} is not current on cpu {self.cpu_id}")
+        self.curr = None
+        task.state = TaskState.RUNNABLE
+        task.stats.last_enqueue_us = now
+        self._tree.insert((task.vruntime, task.tid), task)
+        self._notify(now)
+
+    # -- selection -------------------------------------------------------------
+
+    def pick_next(self) -> Optional[Task]:
+        """The leftmost (least-vruntime) waiting task, without removing it."""
+        pair = self._tree.leftmost()
+        return None if pair is None else pair[1]
+
+    def take(self, task: Task, now: int) -> Task:
+        """Remove a specific waiting task (for migration or dispatch)."""
+        self._tree.remove((task.vruntime, task.tid))
+        self._notify(now)
+        return task
+
+    def leftmost_vruntime(self) -> Optional[int]:
+        pair = self._tree.leftmost()
+        return None if pair is None else pair[0][0]
+
+    def update_min_vruntime(self) -> None:
+        """Advance the monotonic vruntime floor (kernel semantics)."""
+        candidates = []
+        if self.curr is not None:
+            candidates.append(self.curr.vruntime)
+        left = self.leftmost_vruntime()
+        if left is not None:
+            candidates.append(left)
+        if candidates:
+            self.min_vruntime = max(self.min_vruntime, min(candidates))
+
+    # -- introspection -----------------------------------------------------------
+
+    def queued_tasks(self) -> Iterator[Task]:
+        """Waiting tasks in vruntime order (excludes the running task)."""
+        return self._tree.values()
+
+    def all_tasks(self) -> List[Task]:
+        """Running + waiting tasks."""
+        tasks = list(self._tree.values())
+        if self.curr is not None:
+            tasks.append(self.curr)
+        return tasks
+
+    def load(self, now: Optional[int] = None) -> float:
+        """Combined load of every task on this queue (Figure 2b's metric)."""
+        return sum(task.load(now) for task in self.all_tasks())
+
+    def total_weight(self) -> int:
+        """Sum of raw weights (used for timeslice computation)."""
+        return sum(task.weight for task in self.all_tasks())
+
+    def _notify(self, now: int) -> None:
+        if self.probe is not None:
+            self.probe.on_nr_running(now, self.cpu_id, self.nr_running)
+            self.probe.on_rq_load(now, self.cpu_id, self.load(now))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunQueue(cpu={self.cpu_id}, nr_running={self.nr_running}, "
+            f"min_vruntime={self.min_vruntime})"
+        )

@@ -1,0 +1,69 @@
+"""Nice-level weight table.
+
+CFS converts a task's nice level (-20 .. +19) into a weight via a fixed
+table (kernel ``sched_prio_to_weight``); CPU time is divided among runnable
+tasks in proportion to weight.  Each step of nice is ~1.25x, so a task at
+nice ``n`` receives about 10% more CPU than one at ``n + 1``.
+"""
+
+from __future__ import annotations
+
+#: Weight of a nice-0 task; the unit in which runqueue load is expressed.
+NICE_0_WEIGHT = 1024
+
+#: Kernel ``sched_prio_to_weight`` table, indexed by ``nice + 20``.
+PRIO_TO_WEIGHT = (
+    88761, 71755, 56483, 46273, 36291,
+    29154, 23254, 18705, 14949, 11916,
+    9548, 7620, 6100, 4904, 3906,
+    3121, 2501, 1991, 1586, 1277,
+    1024, 820, 655, 526, 423,
+    335, 272, 215, 172, 137,
+    110, 87, 70, 56, 45,
+    36, 29, 23, 18, 15,
+)
+
+#: Inverse weights (2**32 / weight) used by the kernel to turn divisions
+#: into multiplications; we expose it for parity and tests.
+PRIO_TO_WMULT = tuple((1 << 32) // w for w in PRIO_TO_WEIGHT)
+
+MIN_NICE = -20
+MAX_NICE = 19
+
+
+def weight_for_nice(nice: int) -> int:
+    """Weight for a nice level; raises ``ValueError`` outside -20..19."""
+    if not MIN_NICE <= nice <= MAX_NICE:
+        raise ValueError(f"nice {nice} out of range [{MIN_NICE}, {MAX_NICE}]")
+    return PRIO_TO_WEIGHT[nice - MIN_NICE]
+
+
+def nice_for_weight(weight: int) -> int:
+    """Closest nice level whose table weight matches ``weight``.
+
+    Used when reconstructing nice levels from recorded loads in traces.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    best_nice = MIN_NICE
+    best_diff = None
+    for idx, w in enumerate(PRIO_TO_WEIGHT):
+        diff = abs(w - weight)
+        if best_diff is None or diff < best_diff:
+            best_diff = diff
+            best_nice = idx + MIN_NICE
+    return best_nice
+
+
+def vruntime_delta(exec_time_us: int, weight: int) -> int:
+    """Weighted runtime charged to a task's vruntime.
+
+    A nice-0 task accrues vruntime equal to wall execution time; heavier
+    tasks accrue it more slowly, lighter tasks faster:
+    ``delta = exec_time * NICE_0_WEIGHT / weight``.
+    """
+    if exec_time_us < 0:
+        raise ValueError(f"negative exec time {exec_time_us}")
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    return (exec_time_us * NICE_0_WEIGHT) // weight

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Virtual time is an integer number of **microseconds**.  Two event classes
+drive the system:
+
+* a global scheduler tick every :data:`~repro.sim.timebase.TICK_US`
+  (1 ms, like the kernel's 1000 Hz tick) that performs per-CPU accounting,
+  preemption checks, and periodic load balancing; and
+* precise one-shot events (task phase completions, timer wakeups, hotplug
+  operations) scheduled on the :class:`~repro.sim.engine.EventLoop` heap.
+"""
+
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.timebase import MS, SEC, TICK_US, US, format_time
+
+__all__ = [
+    "EventLoop",
+    "SimulationError",
+    "MS",
+    "SEC",
+    "TICK_US",
+    "US",
+    "format_time",
+]

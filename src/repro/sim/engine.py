@@ -1,0 +1,178 @@
+"""Event loop: a heap of timed callbacks with deterministic ordering.
+
+Events firing at the same microsecond run in scheduling order (a
+monotonically increasing sequence number breaks ties), so a simulation with
+a fixed seed is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class _Event:
+    """A scheduled callback; cancellation just flags the entry (lazy delete)."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], None], label: str):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventLoop.schedule`; supports cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> int:
+        """Absolute firing time in microseconds."""
+        return self._event.when
+
+
+class EventLoop:
+    """A discrete-event loop over integer-microsecond virtual time."""
+
+    def __init__(self, start_time: int = 0):
+        self._now = start_time
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current virtual time (microseconds)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (for overhead accounting)."""
+        return self._events_fired
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Run ``callback`` ``delay`` microseconds from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already queued for the current microsecond.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}us in the past")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Run ``callback`` at absolute time ``when`` (microseconds)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}us, now is {self._now}us"
+            )
+        event = _Event(when, next(self._seq), callback, label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run_until(self, deadline: int) -> None:
+        """Fire events in order until ``deadline`` (inclusive) or exhaustion.
+
+        Time is left at ``deadline`` even if the heap empties earlier, so
+        back-to-back ``run_until`` calls see monotonic time.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline {deadline}us is before now {self._now}us"
+            )
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            while self._heap and self._heap[0].when <= deadline:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.when
+                self._events_fired += 1
+                event.callback()
+            self._now = deadline
+        finally:
+            self._running = False
+
+    def run_while(
+        self,
+        condition: Callable[[], bool],
+        deadline: int,
+        check_interval: Optional[int] = None,
+    ) -> bool:
+        """Run until ``condition()`` turns false or ``deadline`` passes.
+
+        The condition is evaluated after every fired event (or, when
+        ``check_interval`` is given, on that period).  Returns ``True`` when
+        the condition became false in time, ``False`` on deadline.
+        """
+        if check_interval is not None and check_interval <= 0:
+            raise SimulationError("check_interval must be positive")
+        if not condition():
+            return True
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            next_check = self._now
+            while self._heap and self._heap[0].when <= deadline:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.when
+                self._events_fired += 1
+                event.callback()
+                if check_interval is None or self._now >= next_check:
+                    if not condition():
+                        return True
+                    if check_interval is not None:
+                        next_check = self._now + check_interval
+            self._now = deadline
+            return not condition()
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLoop(now={self._now}us, pending={self.pending()}, "
+            f"fired={self._events_fired})"
+        )

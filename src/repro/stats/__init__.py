@@ -1,0 +1,27 @@
+"""Run metrics: utilization, idle-while-overloaded time, energy, tasks."""
+
+from repro.stats.energy import (
+    EnergyReport,
+    PowerModel,
+    energy_waste_vs,
+    measure_energy,
+)
+from repro.stats.metrics import (
+    IdleOverloadSampler,
+    TaskSummary,
+    machine_utilization,
+    node_busy_times,
+    summarize_tasks,
+)
+
+__all__ = [
+    "EnergyReport",
+    "IdleOverloadSampler",
+    "PowerModel",
+    "TaskSummary",
+    "energy_waste_vs",
+    "machine_utilization",
+    "measure_energy",
+    "node_busy_times",
+    "summarize_tasks",
+]

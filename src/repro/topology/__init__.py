@@ -1,0 +1,39 @@
+"""Machine topology: cores, SMT siblings, LLC/NUMA nodes, interconnect.
+
+The scheduling-domain hierarchy that CFS builds (and the two topology-related
+bugs from the paper) are entirely derived from the structures in this package:
+
+* :class:`~repro.topology.machine.MachineTopology` describes cores, which
+  cores share functional units (SMT pairs), which share a last-level cache
+  (a NUMA node), and how nodes are wired together.
+* :class:`~repro.topology.interconnect.Interconnect` is the NUMA link graph
+  with hop distances (the paper's Figure 4 machine is asymmetric: some node
+  pairs are one hop apart, others two).
+* :mod:`~repro.topology.presets` provides ready-made machines, including the
+  paper's 64-core, 8-node AMD Bulldozer server (Table 5 / Figure 4) and small
+  machines used throughout the tests.
+"""
+
+from repro.topology.interconnect import Interconnect
+from repro.topology.machine import Core, MachineTopology, Node
+from repro.topology.presets import (
+    amd_bulldozer_64,
+    dual_core,
+    flat_smp,
+    paper_figure1_machine,
+    single_node,
+    two_nodes,
+)
+
+__all__ = [
+    "Core",
+    "Interconnect",
+    "MachineTopology",
+    "Node",
+    "amd_bulldozer_64",
+    "dual_core",
+    "flat_smp",
+    "paper_figure1_machine",
+    "single_node",
+    "two_nodes",
+]

@@ -1,0 +1,190 @@
+"""NUMA interconnect graph with hop distances.
+
+Modern multi-socket machines do not fully connect their NUMA nodes: a link
+graph (HyperTransport on the paper's AMD machine) determines how many hops a
+memory access or a cache-coherence message travels.  CFS mirrors this graph
+when it builds the upper scheduling-domain levels: nodes one hop apart are
+grouped before nodes two hops apart.
+
+The graph is deliberately dependency-free (plain adjacency sets + BFS); the
+machines we model have at most a few dozen nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+class Interconnect:
+    """An undirected graph of NUMA nodes with unit-cost links.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of NUMA nodes, numbered ``0 .. num_nodes - 1``.
+    links:
+        Iterable of undirected edges ``(a, b)``.  Self-links are rejected.
+        An empty iterable with ``num_nodes > 1`` yields a disconnected graph,
+        which :meth:`validate` reports.
+    """
+
+    def __init__(self, num_nodes: int, links: Iterable[Tuple[int, int]] = ()):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._adjacency: List[set] = [set() for _ in range(num_nodes)]
+        for a, b in links:
+            self.add_link(a, b)
+        self._distances: List[List[int]] = []
+        self._dirty = True
+
+    def add_link(self, a: int, b: int) -> None:
+        """Add an undirected link between nodes ``a`` and ``b``."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            raise ValueError(f"self-link on node {a} is not allowed")
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._dirty = True
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Nodes exactly one hop from ``node`` (excluding ``node`` itself)."""
+        self._check_node(node)
+        return frozenset(self._adjacency[node])
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop count between ``a`` and ``b`` (0 for a == b).
+
+        Raises ``ValueError`` if the nodes are not connected.
+        """
+        d = self.distance_matrix()[a][b]
+        if d < 0:
+            raise ValueError(f"nodes {a} and {b} are not connected")
+        return d
+
+    def distance_matrix(self) -> List[List[int]]:
+        """All-pairs hop counts; ``-1`` marks unreachable pairs."""
+        if self._dirty:
+            self._distances = [self._bfs(src) for src in range(self.num_nodes)]
+            self._dirty = False
+        return self._distances
+
+    def nodes_within(self, node: int, hops: int) -> FrozenSet[int]:
+        """All nodes reachable from ``node`` in at most ``hops`` hops.
+
+        Includes ``node`` itself (distance 0).  This is the set CFS uses when
+        building the per-distance scheduling-domain levels.
+        """
+        self._check_node(node)
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        row = self.distance_matrix()[node]
+        return frozenset(n for n, d in enumerate(row) if 0 <= d <= hops)
+
+    def diameter(self) -> int:
+        """Largest finite hop count between any pair of connected nodes."""
+        best = 0
+        for row in self.distance_matrix():
+            finite = [d for d in row if d >= 0]
+            if finite:
+                best = max(best, max(finite))
+        return best
+
+    def is_connected(self) -> bool:
+        """True when every node can reach every other node."""
+        return all(d >= 0 for row in self.distance_matrix() for d in row)
+
+    def is_symmetric_diameter(self) -> bool:
+        """True when all node pairs sit at the same (non-zero) distance.
+
+        Fully-connected interconnects are "symmetric" in the paper's sense;
+        the Bulldozer machine is not, which is what triggers the Scheduling
+        Group Construction bug.
+        """
+        distances = {
+            d
+            for row in self.distance_matrix()
+            for d in row
+            if d > 0
+        }
+        return len(distances) <= 1
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the interconnect is unusable."""
+        if self.num_nodes > 1 and not self.is_connected():
+            raise ValueError("interconnect graph is not connected")
+
+    def links(self) -> List[Tuple[int, int]]:
+        """Sorted list of undirected edges, each reported once as (lo, hi)."""
+        out = []
+        for a in range(self.num_nodes):
+            for b in self._adjacency[a]:
+                if a < b:
+                    out.append((a, b))
+        return sorted(out)
+
+    @classmethod
+    def fully_connected(cls, num_nodes: int) -> "Interconnect":
+        """Every node one hop from every other node."""
+        links = [
+            (a, b)
+            for a in range(num_nodes)
+            for b in range(a + 1, num_nodes)
+        ]
+        return cls(num_nodes, links)
+
+    @classmethod
+    def ring(cls, num_nodes: int) -> "Interconnect":
+        """Nodes connected in a cycle; useful to create >1 hop distances."""
+        if num_nodes < 3:
+            raise ValueError("a ring needs at least 3 nodes")
+        links = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        return cls(num_nodes, links)
+
+    def _bfs(self, src: int) -> List[int]:
+        dist = [-1] * self.num_nodes
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._adjacency[cur]:
+                if dist[nxt] < 0:
+                    dist[nxt] = dist[cur] + 1
+                    queue.append(nxt)
+        return dist
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Interconnect(num_nodes={self.num_nodes}, "
+            f"links={len(self.links())}, diameter={self.diameter()})"
+        )
+
+
+def hop_levels(interconnect: Interconnect) -> Sequence[int]:
+    """Distinct positive hop distances present in the graph, ascending.
+
+    CFS creates one cross-node scheduling-domain level per entry: first the
+    one-hop level, then two hops, and so on up to the diameter.
+    """
+    matrix = interconnect.distance_matrix()
+    values = sorted({d for row in matrix for d in row if d > 0})
+    return values
+
+
+def reachability_table(interconnect: Interconnect) -> Dict[int, List[FrozenSet[int]]]:
+    """Per-node list of "nodes within h hops" sets for each hop level."""
+    table: Dict[int, List[FrozenSet[int]]] = {}
+    for node in range(interconnect.num_nodes):
+        table[node] = [
+            interconnect.nodes_within(node, hops)
+            for hops in hop_levels(interconnect)
+        ]
+    return table

@@ -1,0 +1,129 @@
+"""Considered-cores plots -- the paper's Figure 5.
+
+Figure 5 shows, for one observer core, vertical lines marking which cores
+each (failed) load-balancing call examined, overlaid on which cores were
+busy.  With the Missing Scheduling Domains bug the lines never leave the
+observer's node even though another node is overloaded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.viz.events import ConsideredEvent, NrRunningEvent, TraceBuffer
+from repro.viz.heatmap import HeatmapBuilder
+from repro.viz.svg import SvgCanvas, heat_color, rgb
+
+
+def considered_core_sets(
+    trace: TraceBuffer,
+    observer_cpu: int,
+    op: Optional[str] = None,
+) -> List[ConsideredEvent]:
+    """All considered-core events issued by one core, optionally one op."""
+    out = []
+    for event in trace.of_type(ConsideredEvent):
+        if event.cpu != observer_cpu:
+            continue
+        if op is not None and event.op != op:
+            continue
+        out.append(event)
+    return out
+
+
+def coverage_fraction(
+    events: Sequence[ConsideredEvent], num_cpus: int
+) -> float:
+    """Fraction of the machine's cores ever considered by these events.
+
+    The Figure 5 pathology in one number: with the Missing Scheduling
+    Domains bug an observer on an 8-node machine covers only 1/8 of it.
+    """
+    if num_cpus <= 0:
+        return 0.0
+    covered: set = set()
+    for event in events:
+        covered.update(event.considered)
+    return len(covered) / num_cpus
+
+
+def render_ascii_considered(
+    trace: TraceBuffer,
+    observer_cpu: int,
+    num_cpus: int,
+    op: str = "load_balance",
+    max_events: int = 60,
+) -> str:
+    """One text row per balancing call: '#' = considered, '.' = not."""
+    events = considered_core_sets(trace, observer_cpu, op)[:max_events]
+    lines = [
+        f"cores considered by cpu {observer_cpu} ({op}), "
+        f"{len(events)} call(s):"
+    ]
+    for event in events:
+        row = "".join(
+            "#" if c in event.considered else "." for c in range(num_cpus)
+        )
+        lines.append(f"t={event.time_us / 1000:9.1f}ms {row}")
+    return "\n".join(lines)
+
+
+def render_svg_considered(
+    trace: TraceBuffer,
+    observer_cpu: int,
+    num_cpus: int,
+    t0_us: int,
+    t1_us: int,
+    cores_per_node: Optional[int] = None,
+    op: str = "load_balance",
+    bins: int = 120,
+    title: str = "",
+) -> str:
+    """Figure 5-style SVG: runqueue heatmap + considered-core tick marks."""
+    builder = HeatmapBuilder(num_cpus, t0_us, t1_us, bins)
+    matrix = builder.from_trace(trace, NrRunningEvent)
+    max_value = max((v for row in matrix for v in row), default=1.0) or 1.0
+
+    cell_w, cell_h = 6, 7
+    margin_left, margin_top = 56, 34
+    width = margin_left + bins * cell_w + 110
+    height = margin_top + num_cpus * cell_h + 40
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(margin_left, 20, title, size=14)
+    for r in range(num_cpus):
+        y = margin_top + r * cell_h
+        for c in range(bins):
+            t = min(max(matrix[r][c] / max_value, 0.0), 1.0)
+            canvas.rect(
+                margin_left + c * cell_w, y, cell_w, cell_h, rgb(heat_color(t))
+            )
+    if cores_per_node:
+        for r in range(cores_per_node, num_cpus, cores_per_node):
+            y = margin_top + r * cell_h
+            canvas.line(
+                margin_left, y, margin_left + bins * cell_w, y,
+                stroke="#3366cc",
+            )
+    # Vertical ticks: for each balancing call, a blue mark on every core it
+    # considered at that time.
+    span = t1_us - t0_us
+    for event in considered_core_sets(trace, observer_cpu, op):
+        if not t0_us <= event.time_us < t1_us:
+            continue
+        x = margin_left + (event.time_us - t0_us) / span * bins * cell_w
+        for core in event.considered:
+            if 0 <= core < num_cpus:
+                y = margin_top + core * cell_h
+                canvas.line(x, y + 1, x, y + cell_h - 1, stroke="#2244bb",
+                            width=1.2)
+    canvas.text(
+        16, margin_top + num_cpus * cell_h / 2, "core", size=11,
+        anchor="middle",
+    )
+    canvas.color_legend(
+        margin_left + bins * cell_w + 14, margin_top,
+        min(140, num_cpus * cell_h), heat_color,
+        low_label="idle", high_label=f"{max_value:.0f} threads",
+    )
+    return canvas.to_svg()

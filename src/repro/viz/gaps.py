@@ -1,0 +1,150 @@
+"""Straggler-gap analysis -- the paper's reading of Figure 3.
+
+    "Many threads have gaps in their execution, i.e., they all sleep at
+    the same time, waiting for 'straggler' threads that are sharing a
+    core.  When all instances of the bug are resolved, the gaps
+    disappear."
+
+From the recorded runqueue-size events this module reconstructs the
+machine-wide activity level over time, detects *gaps* (intervals where
+most cores are simultaneously inactive while the workload is running) and
+*episodes* of sustained imbalance (some cores idle, others overloaded),
+including how long each episode took to recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.viz.events import NrRunningEvent, TraceBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.offline import OfflineViolation
+
+
+@dataclass(frozen=True)
+class ActivityGap:
+    """An interval where the machine went mostly inactive mid-run."""
+
+    start_us: int
+    end_us: int
+    min_active_cores: int
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+
+def activity_series(
+    trace: TraceBuffer, num_cpus: int
+) -> List[Tuple[int, int]]:
+    """(time, active-core-count) change points from runqueue events."""
+    nr = [0] * num_cpus
+    active = 0
+    series: List[Tuple[int, int]] = []
+    events = sorted(
+        (e for e in trace.of_type(NrRunningEvent) if e.cpu < num_cpus),
+        key=lambda e: e.time_us,
+    )
+    for event in events:
+        was_active = nr[event.cpu] > 0
+        nr[event.cpu] = event.nr_running
+        is_active = event.nr_running > 0
+        if was_active != is_active:
+            active += 1 if is_active else -1
+        if series and series[-1][0] == event.time_us:
+            series[-1] = (event.time_us, active)
+        else:
+            series.append((event.time_us, active))
+    return series
+
+
+def find_gaps(
+    trace: TraceBuffer,
+    num_cpus: int,
+    threshold_fraction: float = 0.5,
+    min_duration_us: int = 500,
+    span: Tuple[int, int] = (0, 0),
+) -> List[ActivityGap]:
+    """Intervals where active cores drop below a fraction of the peak.
+
+    A gap is the Figure 3 signature: most workers sleep simultaneously
+    waiting for stragglers.  ``span`` optionally clips to a window.
+    """
+    series = activity_series(trace, num_cpus)
+    if not series:
+        return []
+    peak = max(count for _, count in series)
+    if peak == 0:
+        return []
+    threshold = peak * threshold_fraction
+    gaps: List[ActivityGap] = []
+    gap_start = None
+    gap_min = peak
+    lo, hi = span
+    for time_us, count in series:
+        if hi and not lo <= time_us <= hi:
+            continue
+        if count < threshold:
+            if gap_start is None:
+                gap_start = time_us
+                gap_min = count
+            else:
+                gap_min = min(gap_min, count)
+        elif gap_start is not None:
+            if time_us - gap_start >= min_duration_us:
+                gaps.append(ActivityGap(gap_start, time_us, gap_min))
+            gap_start = None
+            gap_min = peak
+    return gaps
+
+
+@dataclass
+class GapReport:
+    """Gap and imbalance-episode statistics for one traced run."""
+
+    gaps: List[ActivityGap]
+    episodes: List["OfflineViolation"]
+    span_us: int
+
+    @property
+    def gap_time_fraction(self) -> float:
+        if self.span_us <= 0:
+            return 0.0
+        return sum(g.duration_us for g in self.gaps) / self.span_us
+
+    @property
+    def mean_recovery_us(self) -> float:
+        """Mean imbalance-episode length (= time the balancer needed)."""
+        if not self.episodes:
+            return 0.0
+        return sum(e.duration_us for e in self.episodes) / len(self.episodes)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.gaps)} execution gap(s) "
+            f"({self.gap_time_fraction:.1%} of the run); "
+            f"{len(self.episodes)} imbalance episode(s), "
+            f"mean recovery {self.mean_recovery_us / 1000:.1f}ms"
+        )
+
+
+def analyze_gaps(
+    trace: TraceBuffer,
+    num_cpus: int,
+    span_us: int,
+    episode_min_us: int = 2_000,
+) -> GapReport:
+    """Full Figure 3-style analysis of one trace."""
+    # Imported here: repro.core depends on repro.viz.events, so a
+    # top-level import would be circular during package init.
+    from repro.core.offline import find_trace_violations
+
+    return GapReport(
+        gaps=find_gaps(trace, num_cpus),
+        episodes=find_trace_violations(
+            trace, num_cpus, min_duration_us=episode_min_us, end_us=span_us
+        ),
+        span_us=span_us,
+    )

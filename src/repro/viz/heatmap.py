@@ -1,0 +1,205 @@
+"""Cores x time heatmaps -- the paper's Figures 2a/2b/2c and 3.
+
+A :class:`HeatmapBuilder` replays the step function encoded in a trace's
+runqueue-size (or load) events into a dense matrix: one row per core, one
+column per time bin, each cell holding the value in effect during that bin
+(time-weighted average when several events land in one bin).
+
+Rendering is either ASCII (for terminals and test assertions) or SVG
+(:func:`render_svg_heatmap`), with white = idle and warmer colors = more
+threads, like the paper's tool.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.viz.events import NrRunningEvent, TraceBuffer
+from repro.viz.svg import SvgCanvas, gray_color, heat_color, rgb
+
+#: ASCII intensity ramp, blank = zero.
+ASCII_RAMP = " .:-=+*#%@"
+
+
+class HeatmapBuilder:
+    """Builds a (cpus x bins) value matrix from trace events."""
+
+    def __init__(
+        self,
+        num_cpus: int,
+        t0_us: int,
+        t1_us: int,
+        bins: int = 120,
+    ):
+        if t1_us <= t0_us:
+            raise ValueError(f"empty time range [{t0_us}, {t1_us}]")
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.num_cpus = num_cpus
+        self.t0_us = t0_us
+        self.t1_us = t1_us
+        self.bins = bins
+        self.bin_width_us = (t1_us - t0_us) / bins
+
+    def from_trace(
+        self,
+        trace: TraceBuffer,
+        event_type: Type = NrRunningEvent,
+    ) -> List[List[float]]:
+        """Time-weighted per-bin averages of the event value per core."""
+        field = "nr_running" if event_type is NrRunningEvent else "load"
+        per_cpu: Dict[int, List[Tuple[int, float]]] = defaultdict(list)
+        for event in trace.of_type(event_type):
+            per_cpu[event.cpu].append(
+                (event.time_us, float(getattr(event, field)))
+            )
+        matrix = [[0.0] * self.bins for _ in range(self.num_cpus)]
+        for cpu in range(self.num_cpus):
+            series = sorted(per_cpu.get(cpu, ()))
+            matrix[cpu] = self._integrate(series)
+        return matrix
+
+    def _integrate(
+        self, series: Sequence[Tuple[int, float]]
+    ) -> List[float]:
+        """Integrate a step function into per-bin time-weighted means."""
+        out = [0.0] * self.bins
+        if not series:
+            return out
+        # Value in effect at t0: the last event at or before t0 (0 if none).
+        value = 0.0
+        idx = 0
+        for idx, (t, v) in enumerate(series):
+            if t > self.t0_us:
+                break
+            value = v
+            idx += 1
+        cursor = self.t0_us
+        weights = [0.0] * self.bins
+
+        def accumulate(start: float, end: float, val: float) -> None:
+            if end <= start:
+                return
+            b0 = int((start - self.t0_us) / self.bin_width_us)
+            b1 = int((end - self.t0_us - 1e-9) / self.bin_width_us)
+            b0 = min(max(b0, 0), self.bins - 1)
+            b1 = min(max(b1, 0), self.bins - 1)
+            for b in range(b0, b1 + 1):
+                lo = max(start, self.t0_us + b * self.bin_width_us)
+                hi = min(end, self.t0_us + (b + 1) * self.bin_width_us)
+                if hi > lo:
+                    out[b] += val * (hi - lo)
+                    weights[b] += hi - lo
+
+        for t, v in series[idx:]:
+            if t >= self.t1_us:
+                break
+            accumulate(cursor, t, value)
+            cursor = t
+            value = v
+        accumulate(cursor, self.t1_us, value)
+        for b in range(self.bins):
+            if weights[b] > 0:
+                out[b] /= weights[b]
+        return out
+
+
+def render_ascii_heatmap(
+    matrix: Sequence[Sequence[float]],
+    max_value: Optional[float] = None,
+    cores_per_node: Optional[int] = None,
+    title: str = "",
+) -> str:
+    """Terminal heatmap: one row per core, intensity via a character ramp.
+
+    ``cores_per_node`` inserts a separator line between NUMA nodes so the
+    per-node patterns of Figure 2 stand out.
+    """
+    if max_value is None:
+        max_value = max((v for row in matrix for v in row), default=1.0)
+    if max_value <= 0:
+        max_value = 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for cpu, row in enumerate(matrix):
+        if (
+            cores_per_node
+            and cpu > 0
+            and cpu % cores_per_node == 0
+        ):
+            lines.append("     " + "-" * len(row))
+        cells = []
+        for v in row:
+            t = min(max(v / max_value, 0.0), 1.0)
+            idx = min(int(t * (len(ASCII_RAMP) - 1) + 0.5), len(ASCII_RAMP) - 1)
+            cells.append(ASCII_RAMP[idx])
+        lines.append(f"cpu{cpu:3d} {''.join(cells)}")
+    lines.append(f"scale: max={max_value:.2f} ramp='{ASCII_RAMP}'")
+    return "\n".join(lines)
+
+
+def render_svg_heatmap(
+    matrix: Sequence[Sequence[float]],
+    max_value: Optional[float] = None,
+    cores_per_node: Optional[int] = None,
+    title: str = "",
+    value_label: str = "runqueue size",
+    grayscale: bool = False,
+    t0_us: int = 0,
+    t1_us: int = 0,
+    cell_w: int = 6,
+    cell_h: int = 7,
+) -> str:
+    """Standalone SVG heatmap in the style of the paper's Figures 2/3."""
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    if max_value is None:
+        max_value = max((v for row in matrix for v in row), default=1.0)
+    if max_value <= 0:
+        max_value = 1.0
+    margin_left, margin_top = 56, 34
+    width = margin_left + cols * cell_w + 110
+    height = margin_top + rows * cell_h + 40
+    canvas = SvgCanvas(width, height)
+    ramp = gray_color if grayscale else heat_color
+    if title:
+        canvas.text(margin_left, 20, title, size=14)
+    for r, row in enumerate(matrix):
+        y = margin_top + r * cell_h
+        for c, v in enumerate(row):
+            t = min(max(v / max_value, 0.0), 1.0)
+            canvas.rect(
+                margin_left + c * cell_w, y, cell_w, cell_h, rgb(ramp(t))
+            )
+        if r % 8 == 0:
+            canvas.text(
+                margin_left - 6, y + cell_h, f"{r}", size=9, anchor="end"
+            )
+    if cores_per_node:
+        for r in range(cores_per_node, rows, cores_per_node):
+            y = margin_top + r * cell_h
+            canvas.line(
+                margin_left, y, margin_left + cols * cell_w, y,
+                stroke="#3366cc", width=1.0,
+            )
+    canvas.text(
+        16, margin_top + rows * cell_h / 2, "core", size=11, anchor="middle"
+    )
+    if t1_us > t0_us:
+        canvas.text(
+            margin_left, margin_top + rows * cell_h + 16,
+            f"{t0_us / 1e6:.2f}s", size=10,
+        )
+        canvas.text(
+            margin_left + cols * cell_w,
+            margin_top + rows * cell_h + 16,
+            f"{t1_us / 1e6:.2f}s", size=10, anchor="end",
+        )
+    canvas.color_legend(
+        margin_left + cols * cell_w + 14, margin_top,
+        min(140, rows * cell_h), ramp,
+        low_label="0", high_label=f"{max_value:.1f} {value_label}",
+    )
+    return canvas.to_svg()

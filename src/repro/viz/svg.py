@@ -1,0 +1,139 @@
+"""Minimal standalone SVG writer (no third-party plotting available).
+
+Just enough primitives for the paper's charts: rectangles, lines, text and
+a vertical color ramp legend.  Output is a self-contained ``.svg`` string.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Color = Tuple[int, int, int]
+
+
+def rgb(color: Color) -> str:
+    r, g, b = color
+    return f"rgb({r},{g},{b})"
+
+
+def lerp_color(a: Color, b: Color, t: float) -> Color:
+    """Linear interpolation between two colors, t clamped to [0, 1]."""
+    t = min(max(t, 0.0), 1.0)
+    return tuple(round(a[i] + (b[i] - a[i]) * t) for i in range(3))  # type: ignore[return-value]
+
+
+def heat_color(t: float) -> Color:
+    """White -> yellow -> orange -> red ramp (the paper's heatmap colours).
+
+    ``t`` is the normalized value; white means idle.
+    """
+    t = min(max(t, 0.0), 1.0)
+    stops: List[Tuple[float, Color]] = [
+        (0.0, (255, 255, 255)),
+        (0.34, (255, 237, 160)),
+        (0.67, (254, 153, 41)),
+        (1.0, (189, 0, 38)),
+    ]
+    for (t0, c0), (t1, c1) in zip(stops, stops[1:]):
+        if t <= t1:
+            span = t1 - t0
+            return lerp_color(c0, c1, (t - t0) / span if span else 0.0)
+    return stops[-1][1]
+
+
+def gray_color(t: float) -> Color:
+    """White -> black ramp (Figure 2b's load heatmap)."""
+    t = min(max(t, 0.0), 1.0)
+    v = round(255 * (1.0 - t))
+    return (v, v, v)
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes a standalone document."""
+
+    def __init__(self, width: int, height: int, background: str = "white"):
+        self.width = width
+        self.height = height
+        self._parts: List[str] = [
+            f'<rect x="0" y="0" width="{width}" height="{height}" '
+            f'fill="{background}"/>'
+        ]
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str,
+        stroke: str = "none",
+    ) -> None:
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        width: float = 1.0,
+        dash: str = "",
+    ) -> None:
+        extra = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" '
+            f'stroke-width="{width:.2f}"{extra}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        color: str = "black",
+    ) -> None:
+        content = (
+            content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}">{content}</text>'
+        )
+
+    def color_legend(
+        self,
+        x: float,
+        y: float,
+        height: float,
+        ramp,
+        low_label: str,
+        high_label: str,
+        steps: int = 32,
+    ) -> None:
+        """Vertical color-ramp legend with end labels."""
+        cell = height / steps
+        for i in range(steps):
+            t = 1.0 - i / (steps - 1)
+            self.rect(x, y + i * cell, 12, cell + 0.5, rgb(ramp(t)))
+        self.text(x + 16, y + 10, high_label, size=10)
+        self.text(x + 16, y + height, low_label, size=10)
+
+    def to_svg(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_svg())

@@ -1,0 +1,58 @@
+"""Workload models: programs, synchronization, and the paper's applications.
+
+A workload is a generator of *phases* (:mod:`~repro.workloads.base`):
+compute bursts, sleeps, lock/barrier operations, channel waits, forks.  The
+simulator executes phases against the scheduler; synchronization primitives
+(:mod:`~repro.workloads.sync`) decide who spins (burning CPU, like the NAS
+spinlocks) and who blocks (sleeping until woken, like database workers).
+
+Application models:
+
+* :mod:`~repro.workloads.cpubound` -- single-threaded CPU hogs (the paper's
+  R processes) and simple spinners;
+* :mod:`~repro.workloads.make` -- a parallel kernel build (64 compile
+  workers fed from a job queue);
+* :mod:`~repro.workloads.nas` -- the nine NAS parallel benchmarks as
+  synchronization *shapes* (spin-barriers, spinlocks, lu's pipeline);
+* :mod:`~repro.workloads.database` -- a commercial-database stand-in running
+  TPC-H-like queries on pools of worker threads, plus the transient kernel
+  threads that trigger the Overload-on-Wakeup bug.
+"""
+
+from repro.workloads.base import (
+    BarrierWait,
+    Exit,
+    FlagAdvance,
+    FlagWait,
+    LockAcquire,
+    LockRelease,
+    Notify,
+    Phase,
+    Run,
+    Sleep,
+    Spawn,
+    TaskSpec,
+    WaitOn,
+)
+from repro.workloads.sync import Barrier, Channel, Mutex, SpinFlag, SpinLock
+
+__all__ = [
+    "Barrier",
+    "BarrierWait",
+    "Channel",
+    "Exit",
+    "FlagAdvance",
+    "FlagWait",
+    "LockAcquire",
+    "LockRelease",
+    "Mutex",
+    "Notify",
+    "Phase",
+    "Run",
+    "Sleep",
+    "Spawn",
+    "SpinFlag",
+    "SpinLock",
+    "TaskSpec",
+    "WaitOn",
+]

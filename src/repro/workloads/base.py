@@ -1,0 +1,155 @@
+"""The program model: tasks as generators of phases.
+
+A program is a Python generator yielding :class:`Phase` records.  The
+simulator's executor interprets them:
+
+* :class:`Run` -- execute for a duration (may be preempted and resumed);
+* :class:`Sleep` -- leave the CPU with a timer wakeup;
+* :class:`LockAcquire` / :class:`LockRelease` -- take and drop a lock
+  (:class:`~repro.workloads.sync.SpinLock` burns CPU while waiting,
+  :class:`~repro.workloads.sync.Mutex` blocks);
+* :class:`BarrierWait` -- synchronize with sibling threads;
+* :class:`WaitOn` / :class:`Notify` -- blocking producer/consumer channels;
+* :class:`Spawn` -- fork a child task (a :class:`TaskSpec`);
+* :class:`Exit` -- finish early (returning from the generator also exits).
+
+Programs never see wall-clock time or the scheduler; all randomness comes
+from an ``random.Random`` instance owned by the workload, so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, FrozenSet, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.sync import Barrier, Channel, LockBase, SpinFlag
+
+
+class Phase:
+    """Base class for program phases (marker only)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Run(Phase):
+    """Compute for ``duration_us`` microseconds of CPU time."""
+
+    duration_us: int
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"negative run duration {self.duration_us}")
+
+
+@dataclass(frozen=True)
+class Sleep(Phase):
+    """Leave the CPU; a timer wakes the task after ``duration_us``."""
+
+    duration_us: int
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"negative sleep duration {self.duration_us}")
+
+
+@dataclass(frozen=True)
+class LockAcquire(Phase):
+    """Take a lock; spin or block according to the lock's kind."""
+
+    lock: "LockBase"
+
+
+@dataclass(frozen=True)
+class LockRelease(Phase):
+    """Drop a lock previously acquired by this task."""
+
+    lock: "LockBase"
+
+
+@dataclass(frozen=True)
+class BarrierWait(Phase):
+    """Wait until every participant has arrived at the barrier."""
+
+    barrier: "Barrier"
+
+
+@dataclass(frozen=True)
+class WaitOn(Phase):
+    """Consume one token from a channel, blocking while it is empty."""
+
+    channel: "Channel"
+
+
+@dataclass(frozen=True)
+class Notify(Phase):
+    """Produce one token on a channel, waking one blocked consumer."""
+
+    channel: "Channel"
+
+
+@dataclass(frozen=True)
+class FlagWait(Phase):
+    """Spin until ``flag.value >= threshold`` (pipeline dependency)."""
+
+    flag: "SpinFlag"
+    threshold: int
+
+
+@dataclass(frozen=True)
+class FlagAdvance(Phase):
+    """Bump a spin flag, releasing satisfied spinners."""
+
+    flag: "SpinFlag"
+    amount: int = 1
+
+
+@dataclass(frozen=True)
+class Exit(Phase):
+    """Terminate the task immediately."""
+
+
+#: A program: what one task does, as a phase generator.
+Program = Iterator[Phase]
+#: Factory producing a fresh program (each task needs its own generator).
+ProgramFactory = Callable[[], Program]
+
+
+@dataclass
+class TaskSpec:
+    """Blueprint for creating a task (directly or via :class:`Spawn`)."""
+
+    name: str
+    program: ProgramFactory
+    nice: int = 0
+    #: tty session for autogroup placement; None = root group.
+    tty: Optional[str] = None
+    #: Explicit cgroup name (overrides tty); None = tty/root.
+    cgroup: Optional[str] = None
+    #: CPU affinity (taskset); None = all CPUs.
+    allowed_cpus: Optional[FrozenSet[int]] = None
+    #: Extra metadata for experiments (e.g. which NAS app).
+    tags: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Spawn(Phase):
+    """Fork a child task from a spec; the parent continues immediately."""
+
+    spec: TaskSpec
+
+
+def run_us(duration_us: int) -> Run:
+    """Convenience constructor used heavily by workload modules."""
+    return Run(int(duration_us))
+
+
+def jittered(rng, mean_us: int, jitter: float = 0.2) -> int:
+    """A duration near ``mean_us`` with +/- ``jitter`` uniform noise."""
+    if mean_us <= 0:
+        return 0
+    lo = max(1, int(mean_us * (1.0 - jitter)))
+    hi = int(mean_us * (1.0 + jitter))
+    return rng.randint(lo, max(lo, hi))

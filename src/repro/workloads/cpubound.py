@@ -1,0 +1,77 @@
+"""CPU-bound single-thread workloads: the paper's R processes.
+
+The multi-user scenario behind the Group Imbalance bug ran two R machine-
+learning jobs, each a single thread that computes flat out for a long time
+from its own ssh session (tty).  A nice-0 single-thread autogroup member
+carries the full 1024 load -- ~64x one ``make`` thread's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import Run, Sleep, TaskSpec
+
+#: Work chunk size; long enough to be visible to the balancer, short enough
+#: to interleave with ticks.
+_CHUNK_US = 5_000
+
+
+def cpu_hog_program(total_us: Optional[int] = None):
+    """Compute for ``total_us`` microseconds (forever when None)."""
+
+    def factory():
+        def program():
+            if total_us is None:
+                while True:
+                    yield Run(_CHUNK_US)
+            else:
+                remaining = total_us
+                while remaining > 0:
+                    chunk = min(_CHUNK_US, remaining)
+                    remaining -= chunk
+                    yield Run(chunk)
+
+        return program()
+
+    return factory
+
+
+def r_process(
+    name: str,
+    tty: str,
+    total_us: Optional[int] = None,
+    nice: int = 0,
+) -> TaskSpec:
+    """A single-threaded R data-analysis job from its own tty session."""
+    return TaskSpec(
+        name=name,
+        program=cpu_hog_program(total_us),
+        nice=nice,
+        tty=tty,
+        tags={"app": "R"},
+    )
+
+
+def periodic_task(
+    name: str,
+    run_us: int,
+    sleep_us: int,
+    cycles: Optional[int] = None,
+    tty: Optional[str] = None,
+) -> TaskSpec:
+    """A run/sleep cycler (interactive or daemon-like load)."""
+
+    def factory():
+        def program():
+            n = 0
+            while cycles is None or n < cycles:
+                yield Run(run_us)
+                yield Sleep(sleep_us)
+                n += 1
+
+        return program()
+
+    return TaskSpec(
+        name=name, program=factory, tty=tty, tags={"app": "periodic"}
+    )

@@ -1,0 +1,159 @@
+"""A parallel kernel build (``make -j N``).
+
+``make`` keeps N worker threads busy compiling translation units pulled
+from a shared job pool; each compile is a CPU burst with a short I/O pause
+around it.  All workers belong to one autogroup (one tty), which is what
+makes each thread's load ~1/N of a single-threaded job's and arms the
+Group Imbalance bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.base import Run, Sleep, Spawn, TaskSpec, jittered
+
+
+@dataclass
+class MakeJob:
+    """Shared state of one ``make`` invocation: the compile-job pool."""
+
+    total_jobs: int
+    compile_mean_us: int = 8_000
+    io_pause_us: int = 300
+    jitter: float = 0.5
+    seed: int = 1
+    remaining: int = field(init=False)
+    completed: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.total_jobs <= 0:
+            raise ValueError("total_jobs must be positive")
+        self.remaining = self.total_jobs
+        self._rng = random.Random(self.seed)
+
+    def take_job(self) -> Optional[int]:
+        """Claim one compile job; None when the pool is drained."""
+        if self.remaining <= 0:
+            return None
+        self.remaining -= 1
+        return jittered(self._rng, self.compile_mean_us, self.jitter)
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.total_jobs
+
+
+def _worker_program(job: MakeJob):
+    def program():
+        while True:
+            duration = job.take_job()
+            if duration is None:
+                return
+            # Read sources / write objects: a short blocking pause, then
+            # the compile burst.
+            if job.io_pause_us > 0:
+                yield Sleep(job.io_pause_us)
+            yield Run(duration)
+            job.completed += 1
+
+    return program
+
+
+def make_workers(
+    job: MakeJob,
+    nr_workers: int,
+    tty: str = "tty-make",
+) -> List[TaskSpec]:
+    """Specs for the N compile workers of one ``make -j N``."""
+    if nr_workers <= 0:
+        raise ValueError("nr_workers must be positive")
+    return [
+        TaskSpec(
+            name=f"make-w{i}",
+            program=_worker_program(job),
+            tty=tty,
+            tags={"app": "make", "job": id(job)},
+        )
+        for i in range(nr_workers)
+    ]
+
+
+def _compile_spec(job: MakeJob, duration_us: int, index: int,
+                  tty: str) -> TaskSpec:
+    """One compiler invocation: read sources, compile, exit."""
+
+    def factory():
+        def program():
+            if job.io_pause_us > 0:
+                yield Sleep(job.io_pause_us)
+            yield Run(duration_us)
+            job.completed += 1
+
+        return program()
+
+    return TaskSpec(
+        name=f"cc-{index}",
+        program=factory,
+        tty=tty,
+        tags={"app": "make", "job": id(job)},
+    )
+
+
+def make_driver(
+    job: MakeJob,
+    parallelism: int = 64,
+    tty: str = "tty-make",
+) -> TaskSpec:
+    """``make -j N`` as it really behaves: forking one short-lived
+    compiler *process* per translation unit.
+
+    This is the paper's actual workload shape -- compile processes are
+    constantly created (on make's node, since children start near their
+    parent) and exit within milliseconds.  The resulting churn keeps the
+    origin node under fork pressure; whether the rest of the machine
+    absorbs it is exactly what the Group Imbalance bug decides.
+    """
+    if parallelism <= 0:
+        raise ValueError("parallelism must be positive")
+
+    def factory():
+        def program():
+            index = 0
+            while True:
+                duration = job.take_job()
+                if duration is None:
+                    break
+                # make keeps at most -j N compiles in flight.
+                while (index - job.completed) >= parallelism:
+                    yield Sleep(500)
+                index += 1
+                yield Spawn(_compile_spec(job, duration, index, tty))
+                yield Run(30)  # make's own bookkeeping between jobs
+            while not job.done:
+                yield Sleep(1_000)
+
+        return program()
+
+    return TaskSpec(
+        name="make-driver", program=factory, tty=tty,
+        tags={"app": "make-driver", "job": id(job)},
+    )
+
+
+def kernel_make(
+    nr_workers: int = 64,
+    total_jobs: int = 600,
+    compile_mean_us: int = 8_000,
+    tty: str = "tty-make",
+    seed: int = 1,
+) -> List[TaskSpec]:
+    """A ready-made kernel build: N workers over a shared job pool."""
+    job = MakeJob(
+        total_jobs=total_jobs,
+        compile_mean_us=compile_mean_us,
+        seed=seed,
+    )
+    return make_workers(job, nr_workers, tty=tty)

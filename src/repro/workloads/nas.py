@@ -1,0 +1,189 @@
+"""NAS Parallel Benchmark models (bt, cg, ep, ft, is, lu, mg, sp, ua).
+
+The paper uses the NAS suite to quantify the Scheduling Group Construction
+(Table 1) and Missing Scheduling Domains (Table 3) bugs.  What matters for
+those results is not the numerics but the *synchronization shape*: NAS
+applications iterate compute phases separated by **spin barriers**, some
+take **spinlocks** in inner loops, and ``lu`` parallelizes with a fine-
+grained pipeline where "threads wait for the data processed by other
+threads".  When the bugs cram all threads onto one node, a spinning waiter
+can occupy the core its own lock holder needs, which is how slowdowns blow
+past the raw loss of CPUs (27x for lu in Table 1, 138x in Table 3).
+
+Each model is parameterized by compute-grain size, barrier frequency, and
+critical-section length; the profiles below order the applications by
+synchronization sensitivity the way the paper's tables do (``ep`` nearly
+embarrassingly parallel, ``lu``/``ua`` extremely tightly coupled).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.workloads.base import (
+    BarrierWait,
+    FlagAdvance,
+    FlagWait,
+    LockAcquire,
+    LockRelease,
+    Run,
+    Sleep,
+    TaskSpec,
+    jittered,
+)
+from repro.workloads.sync import Barrier, SpinFlag, SpinLock
+
+
+@dataclass(frozen=True)
+class NasProfile:
+    """Synchronization shape of one NAS application."""
+
+    name: str
+    #: Mean per-iteration compute grain (microseconds).
+    work_us: int
+    #: Iterations between spin-barrier synchronizations (1 = every).
+    barrier_every: int
+    #: Spinlock critical-section length per iteration (0 = no lock).
+    lock_hold_us: int
+    #: Number of iterations each thread executes.
+    iterations: int
+    #: Blocking I/O pause per iteration (0 = none); ``is`` reads/writes keys.
+    io_sleep_us: int = 0
+    #: Work-grain jitter (load imbalance between threads).
+    jitter: float = 0.25
+    #: True for pipeline-parallel codes (lu): thread i's iteration depends
+    #: on thread i-1's, modeled as a chain of handoff spinlocks.
+    pipeline: bool = False
+    #: Number of striped locks contended for (1 = one global lock); more
+    #: stripes mean less serialization in the healthy case.
+    nr_locks: int = 1
+
+
+#: The nine applications the paper runs, ordered as in its tables.
+NAS_PROFILES: Dict[str, NasProfile] = {
+    "bt": NasProfile("bt", work_us=1500, barrier_every=1, lock_hold_us=0,
+                     iterations=50),
+    "cg": NasProfile("cg", work_us=600, barrier_every=1, lock_hold_us=0,
+                     iterations=100),
+    "ep": NasProfile("ep", work_us=4000, barrier_every=25, lock_hold_us=0,
+                     iterations=60),
+    "ft": NasProfile("ft", work_us=1000, barrier_every=1, lock_hold_us=0,
+                     iterations=70),
+    "is": NasProfile("is", work_us=4500, barrier_every=4, lock_hold_us=0,
+                     iterations=40, io_sleep_us=400),
+    "lu": NasProfile("lu", work_us=80, barrier_every=10, lock_hold_us=0,
+                     iterations=250, pipeline=True),
+    "mg": NasProfile("mg", work_us=900, barrier_every=1, lock_hold_us=0,
+                     iterations=70),
+    "sp": NasProfile("sp", work_us=850, barrier_every=1, lock_hold_us=0,
+                     iterations=80),
+    "ua": NasProfile("ua", work_us=180, barrier_every=1, lock_hold_us=30,
+                     iterations=150, nr_locks=16),
+}
+
+
+class NasApp:
+    """One NAS application instance: shared barrier/locks + thread specs."""
+
+    def __init__(
+        self,
+        profile: NasProfile,
+        nr_threads: int,
+        allowed_cpus: Optional[FrozenSet[int]] = None,
+        tty: Optional[str] = None,
+        seed: int = 7,
+        scale: float = 1.0,
+    ):
+        if nr_threads <= 0:
+            raise ValueError("nr_threads must be positive")
+        self.profile = profile
+        self.nr_threads = nr_threads
+        self.allowed_cpus = allowed_cpus
+        self.tty = tty
+        self.seed = seed
+        self.iterations = max(1, int(profile.iterations * scale))
+        self.barrier = Barrier(nr_threads, mode="spin",
+                               name=f"{profile.name}-barrier")
+        self.locks: List[SpinLock] = (
+            [
+                SpinLock(f"{profile.name}-lock{i}")
+                for i in range(profile.nr_locks)
+            ]
+            if profile.lock_hold_us > 0
+            else []
+        )
+        # Pipeline progress flags: thread i spins until flag[i-1] reaches
+        # its current iteration (the predecessor produced its data).
+        self.stage_flags: List[SpinFlag] = (
+            [SpinFlag(f"{profile.name}-flag{i}") for i in range(nr_threads)]
+            if profile.pipeline and nr_threads > 1
+            else []
+        )
+
+    def thread_specs(self) -> List[TaskSpec]:
+        return [
+            TaskSpec(
+                name=f"{self.profile.name}-t{i}",
+                program=self._program_factory(i),
+                tty=self.tty,
+                allowed_cpus=self.allowed_cpus,
+                tags={"app": self.profile.name, "rank": i},
+            )
+            for i in range(self.nr_threads)
+        ]
+
+    def _program_factory(self, rank: int):
+        profile = self.profile
+        rng = random.Random(self.seed * 1_000_003 + rank)
+
+        def program():
+            for it in range(self.iterations):
+                if self.stage_flags:
+                    # Wavefront lockstep (lu's SSOR sweeps): both neighbors
+                    # must have produced iteration ``it - 1``'s boundary
+                    # data before this rank can sweep iteration ``it``.  A
+                    # descheduled rank therefore stalls *two* spinning
+                    # neighbors, and stalls cascade along the pipeline.
+                    if rank > 0:
+                        yield FlagWait(self.stage_flags[rank - 1], it)
+                    if rank + 1 < self.nr_threads:
+                        yield FlagWait(self.stage_flags[rank + 1], it)
+                yield Run(jittered(rng, profile.work_us, profile.jitter))
+                if self.stage_flags:
+                    yield FlagAdvance(self.stage_flags[rank])
+                if self.locks:
+                    lock = self.locks[rng.randrange(len(self.locks))]
+                    yield LockAcquire(lock)
+                    yield Run(jittered(rng, profile.lock_hold_us, 0.1))
+                    yield LockRelease(lock)
+                if profile.io_sleep_us > 0 and it % 4 == 3:
+                    yield Sleep(jittered(rng, profile.io_sleep_us, 0.3))
+                if (it + 1) % profile.barrier_every == 0:
+                    yield BarrierWait(self.barrier)
+
+        return program
+
+
+def nas_app(
+    name: str,
+    nr_threads: int,
+    allowed_cpus: Optional[FrozenSet[int]] = None,
+    tty: Optional[str] = None,
+    seed: int = 7,
+    scale: float = 1.0,
+) -> NasApp:
+    """Instantiate a NAS application model by name (``"lu"``, ``"cg"``...)."""
+    if name not in NAS_PROFILES:
+        raise KeyError(
+            f"unknown NAS app {name!r}; choose from {sorted(NAS_PROFILES)}"
+        )
+    return NasApp(
+        NAS_PROFILES[name], nr_threads, allowed_cpus, tty, seed, scale
+    )
+
+
+def all_nas_names() -> Tuple[str, ...]:
+    """The nine application names, table order."""
+    return tuple(NAS_PROFILES)

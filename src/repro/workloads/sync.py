@@ -1,0 +1,253 @@
+"""Synchronization primitives: spinlocks, mutexes, barriers, channels.
+
+The primitives are passive state machines; the simulator's executor
+performs the actual scheduling actions (spinning, blocking, waking).  The
+distinction that drives the paper's super-linear slowdowns is **spinning
+vs. blocking**: NAS applications use spinlocks and spin-barriers, so a
+waiter burns its whole timeslice when the lock holder (or a barrier
+straggler) is descheduled -- the executor models exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.task import Task
+
+_next_sync_id = itertools.count(1)
+
+
+class LockBase:
+    """Common bookkeeping for spinlocks and mutexes."""
+
+    #: "spin" or "block"; the executor dispatches on this.
+    kind = "abstract"
+
+    def __init__(self, name: str = ""):
+        self.sync_id = next(_next_sync_id)
+        self.name = name or f"{type(self).__name__.lower()}-{self.sync_id}"
+        self.holder: Optional["Task"] = None
+        self.waiters: List["Task"] = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, task: "Task") -> bool:
+        """Try to take the lock; False means the task must wait.
+
+        On failure the task is appended to the FIFO waiter list; the
+        executor decides whether waiting means spinning or blocking.
+        """
+        if self.holder is task:
+            raise RuntimeError(f"{task} already holds {self.name}")
+        if self.holder is None:
+            self.holder = task
+            self.acquisitions += 1
+            return True
+        self.waiters.append(task)
+        self.contended_acquisitions += 1
+        return False
+
+    def is_waiting(self, task: "Task") -> bool:
+        return task in self.waiters
+
+    def __repr__(self) -> str:
+        holder = self.holder.tid if self.holder else None
+        return (
+            f"{type(self).__name__}({self.name!r}, holder={holder}, "
+            f"waiters={len(self.waiters)})"
+        )
+
+
+class SpinLock(LockBase):
+    """A busy-waiting lock (kernel spinlock / NAS userspace spinlock).
+
+    Waiters burn CPU.  On release, ownership passes to the first waiter
+    currently *on a CPU*; if every waiter has been preempted the lock is
+    left free, and a preempted waiter claims it when it next runs (the
+    executor calls :meth:`try_steal` at dispatch time).
+    """
+
+    kind = "spin"
+
+    def release(self, task: "Task") -> Optional["Task"]:
+        """Drop the lock; returns the waiter granted ownership, if any."""
+        from repro.sched.task import TaskState  # local: avoid import cycle
+
+        if self.holder is not task:
+            raise RuntimeError(f"{task} does not hold {self.name}")
+        self.holder = None
+        for waiter in self.waiters:
+            if waiter.state is TaskState.RUNNING:
+                self.waiters.remove(waiter)
+                self.holder = waiter
+                self.acquisitions += 1
+                return waiter
+        return None
+
+    def try_steal(self, task: "Task") -> bool:
+        """A preempted spinner, now running again, grabs the free lock."""
+        if self.holder is None and task in self.waiters:
+            self.waiters.remove(task)
+            self.holder = task
+            self.acquisitions += 1
+            return True
+        return False
+
+
+class Mutex(LockBase):
+    """A blocking lock (futex): waiters sleep and are woken FIFO."""
+
+    kind = "block"
+
+    def release(self, task: "Task") -> Optional["Task"]:
+        """Drop the lock, handing it to the first waiter (to be woken)."""
+        if self.holder is not task:
+            raise RuntimeError(f"{task} does not hold {self.name}")
+        if self.waiters:
+            self.holder = self.waiters.pop(0)
+            self.acquisitions += 1
+            return self.holder
+        self.holder = None
+        return None
+
+
+class Barrier:
+    """A reusable barrier for a fixed number of parties.
+
+    ``mode="spin"`` (NAS spin-barrier): waiters burn CPU until the last
+    participant arrives.  ``mode="block"``: waiters sleep and the last
+    arrival wakes them.  Each completion bumps ``generation``; a waiter has
+    passed once the generation moved beyond the one it arrived in.
+    """
+
+    def __init__(self, parties: int, mode: str = "spin", name: str = ""):
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        if mode not in ("spin", "block"):
+            raise ValueError(f"unknown barrier mode {mode!r}")
+        self.sync_id = next(_next_sync_id)
+        self.name = name or f"barrier-{self.sync_id}"
+        self.parties = parties
+        self.mode = mode
+        self.generation = 0
+        self.waiting: List["Task"] = []
+        self.completions = 0
+
+    def arrive(self, task: "Task") -> Tuple[bool, List["Task"]]:
+        """Register arrival.
+
+        Returns ``(passed, released)``: ``passed`` is True when this was
+        the last participant (the barrier trips); ``released`` lists the
+        other tasks that were waiting and may now proceed.
+        """
+        if task in self.waiting:
+            raise RuntimeError(f"{task} already waits on {self.name}")
+        if len(self.waiting) + 1 >= self.parties:
+            released = self.waiting
+            self.waiting = []
+            self.generation += 1
+            self.completions += 1
+            return True, released
+        self.waiting.append(task)
+        return False, []
+
+    def has_passed(self, arrival_generation: int) -> bool:
+        """True when the barrier tripped after ``arrival_generation``."""
+        return self.generation > arrival_generation
+
+    def __repr__(self) -> str:
+        return (
+            f"Barrier({self.name!r}, {len(self.waiting)}/{self.parties} "
+            f"waiting, gen={self.generation}, mode={self.mode})"
+        )
+
+
+class SpinFlag:
+    """A monotonically increasing counter spun on by consumers.
+
+    This is how pipeline-parallel codes (the paper's ``lu``) wait for a
+    neighbor's progress: the consumer busy-polls ``value >= threshold``.
+    Waiters burn CPU like spinlock waiters; a descheduled producer therefore
+    stalls every spinning consumer -- the heart of lu's 138x blowup.
+    """
+
+    def __init__(self, name: str = ""):
+        self.sync_id = next(_next_sync_id)
+        self.name = name or f"spinflag-{self.sync_id}"
+        self.value = 0
+        #: Spinning (task, threshold) pairs, arrival order.
+        self.waiters: List[Tuple["Task", int]] = []
+
+    def satisfied(self, threshold: int) -> bool:
+        return self.value >= threshold
+
+    def wait(self, task: "Task", threshold: int) -> bool:
+        """Start waiting; True when already satisfied (no spin needed)."""
+        if self.value >= threshold:
+            return True
+        self.waiters.append((task, threshold))
+        return False
+
+    def advance(self, amount: int = 1) -> List["Task"]:
+        """Bump the counter; returns now-satisfied waiters (any state)."""
+        if amount <= 0:
+            raise ValueError(f"advance amount must be positive, got {amount}")
+        self.value += amount
+        released = [t for t, thr in self.waiters if self.value >= thr]
+        self.waiters = [
+            (t, thr) for t, thr in self.waiters if self.value < thr
+        ]
+        return released
+
+    def drop_waiter(self, task: "Task") -> None:
+        """Forget a waiter (task teardown)."""
+        self.waiters = [(t, thr) for t, thr in self.waiters if t is not task]
+
+    def __repr__(self) -> str:
+        return (
+            f"SpinFlag({self.name!r}, value={self.value}, "
+            f"waiters={len(self.waiters)})"
+        )
+
+
+class Channel:
+    """A counting token channel (condition variable / pipe stand-in).
+
+    Producers :meth:`put` tokens; consumers :meth:`get` them, blocking when
+    none are available.  The database model uses channels for its
+    producer/consumer query pipelines -- each ``put`` is a wakeup with the
+    producer as the waker, which is what arms the Overload-on-Wakeup bug.
+    """
+
+    def __init__(self, name: str = ""):
+        self.sync_id = next(_next_sync_id)
+        self.name = name or f"channel-{self.sync_id}"
+        self.tokens = 0
+        self.waiters: List["Task"] = []
+        self.puts = 0
+        self.gets = 0
+
+    def put(self) -> Optional["Task"]:
+        """Add a token; returns a blocked consumer to wake, if any."""
+        self.puts += 1
+        if self.waiters:
+            return self.waiters.pop(0)
+        self.tokens += 1
+        return None
+
+    def get(self, task: "Task") -> bool:
+        """Consume a token; False means the task must block."""
+        self.gets += 1
+        if self.tokens > 0:
+            self.tokens -= 1
+            return True
+        self.waiters.append(task)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, tokens={self.tokens}, "
+            f"waiters={len(self.waiters)})"
+        )

@@ -1,0 +1,93 @@
+"""Transient kernel threads: sub-millisecond background tasks.
+
+The Overload-on-Wakeup bug "is typically caused when a transient thread is
+scheduled on a core that runs a database thread ... the kernel launches
+tasks that last less than a millisecond to perform background operations,
+such as logging or irq handling".  The load balancer then sees a heavier
+node and may migrate a *database* thread away -- after which the wakeup
+path keeps it on the wrong node.
+
+:class:`TransientLoad` injects such tasks: a tick hook spawns short-lived
+threads on random online cores at a configurable rate (deterministic for a
+fixed seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.timebase import SEC, TICK_US
+from repro.workloads.base import Run, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+
+def transient_spec(name: str, duration_us: int) -> TaskSpec:
+    """One short-lived kernel-thread stand-in."""
+
+    def factory():
+        def program():
+            yield Run(duration_us)
+
+        return program()
+
+    return TaskSpec(name=name, program=factory, tags={"app": "ktransient"})
+
+
+class TransientLoad:
+    """Injects short background tasks at an average rate (per second)."""
+
+    def __init__(
+        self,
+        rate_per_sec: float = 50.0,
+        duration_us: int = 600,
+        duration_jitter: float = 0.5,
+        seed: int = 23,
+        busy_core_bias: float = 0.7,
+    ):
+        if rate_per_sec < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate_per_sec = rate_per_sec
+        self.duration_us = duration_us
+        self.duration_jitter = duration_jitter
+        self.busy_core_bias = busy_core_bias
+        self.rng = random.Random(seed)
+        self.spawned_count = 0
+        self._system: Optional["System"] = None
+        self._per_tick_probability = rate_per_sec * TICK_US / SEC
+
+    def attach(self, system: "System") -> None:
+        if self._system is not None:
+            raise RuntimeError("transient load already attached")
+        self._system = system
+        system.tick_hooks.append(self._on_tick)
+
+    def detach(self) -> None:
+        if self._system is None:
+            return
+        self._system.tick_hooks.remove(self._on_tick)
+        self._system = None
+
+    def _on_tick(self, now: int) -> None:
+        assert self._system is not None
+        if self.rng.random() >= self._per_tick_probability:
+            return
+        system = self._system
+        online = [c for c in system.scheduler.cpus if c.online]
+        if not online:
+            return
+        # IRQs and kworkers favor already-active cores (timer/IO locality),
+        # which is precisely how they perturb a loaded node.
+        busy = [c for c in online if not c.is_idle]
+        pool = busy if busy and self.rng.random() < self.busy_core_bias else online
+        target = self.rng.choice(pool).cpu_id
+        lo = max(1, int(self.duration_us * (1 - self.duration_jitter)))
+        hi = int(self.duration_us * (1 + self.duration_jitter))
+        duration = self.rng.randint(lo, max(lo, hi))
+        self.spawned_count += 1
+        system.spawn(
+            transient_spec(f"ktrans-{self.spawned_count}", duration),
+            on_cpu=target,
+        )

@@ -1,0 +1,99 @@
+"""End-to-end reproduction of the Scheduling Group Construction bug
+(Section 3.2).
+
+An application pinned (taskset) to two nodes that are two hops apart on
+the paper's machine (nodes 1 and 2), with threads created on node 1, never
+spreads to node 2: the machine-level groups -- built from core 0's
+perspective -- contain both nodes, so their average loads always match.
+"""
+
+from repro.core.invariant import has_violation
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS
+from repro.stats.metrics import IdleOverloadSampler
+from repro.topology import amd_bulldozer_64
+
+from tests.conftest import hog_spec
+
+BUGGY = SchedFeatures().without_autogroup()
+FIXED = SchedFeatures().with_fixes("group_construction").without_autogroup()
+RUN_US = 400 * MS
+
+
+def run_pinned(features, nr_threads=16, seed=3):
+    topo = amd_bulldozer_64()
+    allowed = topo.cpus_of_nodes([1, 2])
+    system = System(topo, features, seed=seed)
+    sampler = IdleOverloadSampler()
+    sampler.attach(system)
+    tasks = [
+        system.spawn(
+            hog_spec(f"t{i}", allowed_cpus=allowed),
+            parent_cpu=min(topo.cpus_of_node(1)),
+        )
+        for i in range(nr_threads)
+    ]
+    system.run_for(RUN_US)
+    node_busy = {
+        n: sum(
+            system.scheduler.cpus[c].busy_time_us
+            for c in topo.cpus_of_node(n)
+        )
+        for n in range(8)
+    }
+    return system, sampler, tasks, node_busy
+
+
+def test_bug_confines_app_to_one_node():
+    system, sampler, _, node_busy = run_pinned(BUGGY)
+    assert node_busy[1] >= 7.9 * RUN_US  # node 1 saturated
+    assert node_busy[2] == 0  # node 2 never used
+    assert sampler.violation_fraction > 0.9
+    assert has_violation(system.scheduler, system.now)
+
+
+def test_fix_spreads_across_both_nodes():
+    system, sampler, _, node_busy = run_pinned(FIXED)
+    assert node_busy[2] >= 6.0 * RUN_US
+    assert node_busy[1] >= 6.0 * RUN_US
+    assert sampler.violation_fraction < 0.2
+
+
+def test_unpinned_nodes_never_used():
+    """The taskset is honored under both configurations."""
+    for features in (BUGGY, FIXED):
+        _, _, _, node_busy = run_pinned(features)
+        for node in (0, 3, 4, 5, 6, 7):
+            assert node_busy[node] == 0, (features, node)
+
+
+def test_throughput_doubles_with_fix():
+    _, _, tasks_buggy, _ = run_pinned(BUGGY)
+    _, _, tasks_fixed, _ = run_pinned(FIXED)
+    runtime_buggy = sum(t.stats.total_runtime_us for t in tasks_buggy)
+    runtime_fixed = sum(t.stats.total_runtime_us for t in tasks_fixed)
+    assert runtime_fixed >= 1.8 * runtime_buggy
+
+
+def test_bug_needs_two_hop_pinning():
+    """Pinning to nodes one hop apart (0 and 1) does not trigger the bug:
+    the one-hop domain of a node-0 core covers both nodes with
+    single-node groups."""
+    topo = amd_bulldozer_64()
+    allowed = topo.cpus_of_nodes([0, 1])
+    system = System(topo, BUGGY, seed=3)
+    sampler = IdleOverloadSampler()
+    sampler.attach(system)
+    for i in range(16):
+        system.spawn(
+            hog_spec(f"t{i}", allowed_cpus=allowed),
+            parent_cpu=0,
+        )
+    system.run_for(RUN_US)
+    node_busy_1 = sum(
+        system.scheduler.cpus[c].busy_time_us
+        for c in topo.cpus_of_node(1)
+    )
+    assert node_busy_1 >= 6.0 * RUN_US
+    assert sampler.violation_fraction < 0.2

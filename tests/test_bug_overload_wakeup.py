@@ -1,0 +1,139 @@
+"""End-to-end reproduction of the Overload-on-Wakeup bug (Section 3.3).
+
+A thread that sleeps on a fully-busy node keeps waking up there (cache-
+affine placement) while other nodes hold idle cores.  The fix wakes it on
+the longest-idle core in the system.
+"""
+
+from dataclasses import replace
+
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import two_nodes
+from repro.workloads.base import Run, Sleep, TaskSpec
+
+from tests.conftest import hog_spec
+
+BUGGY = SchedFeatures().without_autogroup()
+FIXED = SchedFeatures().with_fixes("overload_on_wakeup").without_autogroup()
+
+
+def sleepy_spec(name="sleepy", cycles=300):
+    def factory():
+        def program():
+            for _ in range(cycles):
+                yield Run(1 * MS)
+                yield Sleep(1 * MS)
+        return program()
+
+    return TaskSpec(name, factory)
+
+
+def run_scenario(features, seed=6):
+    """Node 0: 4 pinned hogs + 1 sleepy DB-like thread.  Node 1: idle.
+
+    The hogs are pinned to their cores (like the paper's database with one
+    worker per core), and periodic balancing is slowed to the horizon so
+    the only escape route for the sleepy thread is its own wakeup
+    placement -- the decision under test.  (With balancing at its normal
+    rate the scheduler *eventually* migrates the sleepy thread to the idle
+    node, the recovery the paper's Figure 3 shows;
+    ``test_periodic_balancing_eventually_recovers`` covers that.)
+    """
+    features = replace(features, balance_base_us=10 * SEC)
+    system = System(two_nodes(cores_per_node=4), features, seed=seed)
+    hogs = [
+        system.spawn(
+            hog_spec(f"hog{i}", allowed_cpus=frozenset({i})), on_cpu=i
+        )
+        for i in range(4)
+    ]
+    # Warm-up: a short pinned filler overloads cpu 0 so the NOHZ path
+    # runs one (fruitless) balancing round and arms every balance stamp;
+    # with the slowed interval the balancer is then silent for the rest
+    # of the run and only the wakeup path decides placements.
+    system.spawn(
+        hog_spec("filler", total_us=5 * MS, allowed_cpus=frozenset({0})),
+        on_cpu=0,
+    )
+    system.run_for(10 * MS)
+    sleepy = system.spawn(sleepy_spec(), on_cpu=0)
+    system.run_for(1 * SEC)
+    return system, hogs, sleepy
+
+
+def test_bug_wakes_on_busy_cores():
+    system, _, sleepy = run_scenario(BUGGY)
+    assert sleepy.stats.wakeups >= 100
+    busy_fraction = (
+        sleepy.stats.wakeups_on_busy_core / sleepy.stats.wakeups
+    )
+    assert busy_fraction > 0.9  # wakeups pile onto busy node-0 cores
+    # Node 1's four cores stayed idle the whole second.
+    assert all(c.busy_time_us == 0 for c in system.scheduler.cpus[4:8])
+
+
+def test_periodic_balancing_eventually_recovers():
+    """With normal balancing the imbalance is transient: the balancer
+    migrates the sleepy thread to the idle node (Figure 3's recovery)."""
+    system = System(two_nodes(cores_per_node=4), BUGGY, seed=6)
+    for i in range(4):
+        system.spawn(
+            hog_spec(f"hog{i}", allowed_cpus=frozenset({i})), on_cpu=i
+        )
+    sleepy = system.spawn(sleepy_spec(), on_cpu=0)
+    system.run_for(1 * SEC)
+    node1_busy = sum(c.busy_time_us for c in system.scheduler.cpus[4:8])
+    assert node1_busy > 0  # the sleepy thread escaped eventually
+
+
+def test_fix_wakes_on_longest_idle_core():
+    system, _, sleepy = run_scenario(FIXED)
+    busy_fraction = (
+        sleepy.stats.wakeups_on_busy_core / max(sleepy.stats.wakeups, 1)
+    )
+    assert busy_fraction < 0.1
+    # Node 1 cores absorbed the sleepy thread's work.
+    node1_busy = sum(c.busy_time_us for c in system.scheduler.cpus[4:8])
+    assert node1_busy >= 0.8 * sleepy.stats.total_runtime_us
+
+
+def test_victim_hog_loses_cpu_under_bug():
+    """The co-running hogs pay for the shared core (straggler effect)."""
+    _, hogs_buggy, sleepy_buggy = run_scenario(BUGGY)
+    _, hogs_fixed, _ = run_scenario(FIXED)
+    lost_buggy = sum(
+        1 * SEC - h.stats.total_runtime_us for h in hogs_buggy
+    )
+    lost_fixed = sum(
+        1 * SEC - h.stats.total_runtime_us for h in hogs_fixed
+    )
+    # With the fix the hogs keep (nearly) all their cycles.
+    assert lost_fixed < lost_buggy / 2
+    assert sleepy_buggy.stats.total_runtime_us > 0
+
+
+def test_no_idle_cores_fix_falls_back():
+    """With every core busy the fix must not change placement."""
+    system = System(two_nodes(cores_per_node=2), FIXED, seed=6)
+    for i in range(4):
+        system.spawn(hog_spec(f"hog{i}"), on_cpu=i)
+    sleepy = system.spawn(sleepy_spec(cycles=50), on_cpu=0)
+    system.run_for(300 * MS)
+    assert sleepy.stats.wakeups_on_busy_core == sleepy.stats.wakeups
+
+
+def test_bug_needs_oversubscription():
+    """With a free core on the local node, wakeups find it and the bug is
+    invisible (the paper: the fix 'only matters ... where the system is
+    intermittently oversubscribed')."""
+    system = System(two_nodes(cores_per_node=4), BUGGY, seed=6)
+    for i in range(3):  # one core of node 0 left free
+        system.spawn(hog_spec(f"hog{i}"), on_cpu=i)
+    sleepy = system.spawn(sleepy_spec(cycles=100), on_cpu=3)
+    system.run_for(500 * MS)
+    busy_fraction = (
+        sleepy.stats.wakeups_on_busy_core / max(sleepy.stats.wakeups, 1)
+    )
+    assert busy_fraction < 0.1

@@ -1,0 +1,66 @@
+"""Tests for the bug registry (Table 4's source of truth)."""
+
+import pytest
+
+from repro.core.bugs import BUGS, bug_by_name, table4_rows
+from repro.sched.features import SchedFeatures
+
+
+def test_four_bugs_registered():
+    assert len(BUGS) == 4
+    names = [b.name for b in BUGS]
+    assert names == [
+        "Group Imbalance",
+        "Scheduling Group Construction",
+        "Overload-on-Wakeup",
+        "Missing Scheduling Domains",
+    ]
+
+
+def test_kernel_versions_match_paper():
+    versions = {b.name: b.kernel_versions for b in BUGS}
+    assert versions["Group Imbalance"] == "2.6.38+"
+    assert versions["Scheduling Group Construction"] == "3.9+"
+    assert versions["Overload-on-Wakeup"] == "2.6.32+"
+    assert versions["Missing Scheduling Domains"] == "3.19+"
+
+
+def test_max_impacts_match_paper():
+    impacts = {b.name: b.paper_max_impact for b in BUGS}
+    assert impacts["Group Imbalance"] == "13x"
+    assert impacts["Scheduling Group Construction"] == "27x"
+    assert impacts["Overload-on-Wakeup"] == "22%"
+    assert impacts["Missing Scheduling Domains"] == "138x"
+
+
+def test_every_fix_flag_exists_on_features():
+    features = SchedFeatures()
+    for bug in BUGS:
+        assert hasattr(features, bug.fix_flag)
+        enabled = features.with_fixes(bug.fix_flag)
+        assert getattr(enabled, bug.fix_flag) is True
+
+
+def test_bug_by_name_partial_case_insensitive():
+    assert bug_by_name("wakeup").name == "Overload-on-Wakeup"
+    assert bug_by_name("GROUP IMBALANCE").name == "Group Imbalance"
+    with pytest.raises(KeyError):
+        bug_by_name("no such bug")
+
+
+def test_table4_rows():
+    rows = table4_rows()
+    assert len(rows) == 4
+    assert rows[0][0] == "Group Imbalance"
+    assert all(len(r) == 4 for r in rows)
+
+
+def test_with_fixes_all_covers_registry():
+    features = SchedFeatures().with_fixes("all")
+    for bug in BUGS:
+        assert getattr(features, bug.fix_flag)
+
+
+def test_unknown_fix_rejected():
+    with pytest.raises(ValueError):
+        SchedFeatures().with_fixes("bogus")

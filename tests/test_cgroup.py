@@ -1,0 +1,143 @@
+"""Tests for cgroups and the autogroup feature."""
+
+import pytest
+
+from repro.sched.cgroup import Autogroup, CGroup, CGroupManager
+from repro.sched.task import Task
+
+
+def make_task(name="t"):
+    return Task(name)
+
+
+def test_root_group_never_divides():
+    manager = CGroupManager()
+    task = make_task()
+    manager.attach(task)
+    assert task.cgroup is manager.root
+    assert manager.root.load_divisor == 1
+    manager.attach(make_task())
+    assert manager.root.load_divisor == 1
+
+
+def test_group_divisor_tracks_membership():
+    manager = CGroupManager()
+    group = manager.create_group("g")
+    tasks = [make_task(f"t{i}") for i in range(4)]
+    for t in tasks:
+        manager.attach(t, group)
+    assert group.nr_threads == 4
+    assert group.load_divisor == 4
+    manager.detach(tasks[0])
+    assert group.load_divisor == 3
+
+
+def test_empty_group_divisor_is_one():
+    manager = CGroupManager()
+    group = manager.create_group("empty")
+    assert group.load_divisor == 1
+
+
+def test_duplicate_group_name_rejected():
+    manager = CGroupManager()
+    manager.create_group("g")
+    with pytest.raises(ValueError):
+        manager.create_group("g")
+
+
+def test_autogroup_per_tty():
+    manager = CGroupManager()
+    g1 = manager.autogroup_for_tty("tty1")
+    g2 = manager.autogroup_for_tty("tty2")
+    assert g1 is not g2
+    assert isinstance(g1, Autogroup)
+    assert g1.tty == "tty1"
+    assert manager.autogroup_for_tty("tty1") is g1
+
+
+def test_autogroup_disabled_falls_back_to_root():
+    manager = CGroupManager(autogroup_enabled=False)
+    assert manager.autogroup_for_tty("tty1") is manager.root
+
+
+def test_attach_moves_between_groups():
+    manager = CGroupManager()
+    a = manager.create_group("a")
+    b = manager.create_group("b")
+    task = make_task()
+    manager.attach(task, a)
+    manager.attach(task, b)
+    assert a.nr_threads == 0
+    assert b.nr_threads == 1
+    assert task.cgroup is b
+
+
+def test_detach_clears_cgroup():
+    manager = CGroupManager()
+    task = make_task()
+    manager.attach(task)
+    manager.detach(task)
+    assert task.cgroup is None
+    # Detaching twice is harmless.
+    manager.detach(task)
+
+
+def test_group_lookup():
+    manager = CGroupManager()
+    manager.create_group("x")
+    assert manager.group("x").name == "x"
+    assert manager.group("root") is manager.root
+    with pytest.raises(KeyError):
+        manager.group("missing")
+    names = {g.name for g in manager.groups()}
+    assert {"root", "x"} <= names
+
+
+def test_autogroup_appears_in_groups():
+    manager = CGroupManager()
+    manager.autogroup_for_tty("ttyZ")
+    assert any(g.name == "autogroup:ttyZ" for g in manager.groups())
+
+
+def test_repr():
+    group = CGroup("g")
+    assert "g" in repr(group)
+    assert "threads=0" in repr(group)
+
+
+class TestV43Metric:
+    """The Linux 4.3 load-metric rework (paper Section 3.5)."""
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            CGroup("g", metric="v99")
+
+    def test_v43_divisor_smooths_membership_changes(self):
+        group = CGroup("g", metric="v43")
+        tasks = [make_task(f"t{i}") for i in range(8)]
+        for t in tasks:
+            group.add(t)
+        after_adds = group.load_divisor
+        assert 1.0 <= after_adds < 8  # still converging
+        # Keep touching membership: converges toward 8.
+        for _ in range(20):
+            group.discard(tasks[0])
+            group.add(tasks[0])
+        assert group.load_divisor > after_adds
+
+    def test_classic_divisor_is_instantaneous(self):
+        group = CGroup("g", metric="classic")
+        for i in range(8):
+            group.add(make_task(f"t{i}"))
+        assert group.load_divisor == 8
+
+    def test_manager_propagates_metric(self):
+        manager = CGroupManager(metric="v43")
+        assert manager.create_group("x").metric == "v43"
+        assert manager.autogroup_for_tty("t1").metric == "v43"
+
+    def test_root_never_divides_even_v43(self):
+        manager = CGroupManager(metric="v43")
+        for i in range(5):
+            manager.attach(make_task(f"t{i}"))
+        assert manager.root.load_divisor == 1

@@ -1,0 +1,74 @@
+"""Tests for per-CPU scheduler state (idle tracking, avg_idle EWMA)."""
+
+from repro.sched.cpu import Cpu
+
+
+def test_boots_idle_and_tickless():
+    cpu = Cpu(3)
+    assert cpu.online
+    assert cpu.is_idle
+    assert cpu.tickless
+    assert cpu.idle_since_us == 0
+    assert cpu.avg_idle_us == 1_000_000  # long-term idle at boot
+
+
+def test_busy_idle_transitions_accumulate_time():
+    cpu = Cpu(0)
+    cpu.mark_busy(1000)
+    assert cpu.idle_time_us == 1000
+    assert not cpu.tickless
+    cpu.mark_idle(5000)
+    assert cpu.idle_since_us == 5000
+    assert cpu.tickless
+    cpu.mark_busy(7000)
+    assert cpu.idle_time_us == 3000
+
+
+def test_mark_idle_idempotent():
+    cpu = Cpu(0)
+    cpu.mark_busy(100)
+    cpu.mark_idle(200)
+    cpu.mark_idle(900)  # no-op: already idle since 200
+    assert cpu.idle_since_us == 200
+
+
+def test_avg_idle_ewma_tracks_short_periods():
+    cpu = Cpu(0)
+    now = 0
+    # Many 1 ms idle periods: the EWMA converges toward 1000 us.
+    for _ in range(60):
+        cpu.mark_idle(now)
+        now += 1000
+        cpu.mark_busy(now)
+        now += 1000
+    assert cpu.avg_idle_us < 2000
+
+
+def test_avg_idle_grows_after_long_sleep():
+    cpu = Cpu(0)
+    cpu.mark_busy(0)
+    cpu.mark_idle(0)
+    cpu.mark_busy(8_000_000)  # one 8 s idle period
+    assert cpu.avg_idle_us > 1_000_000
+
+
+def test_idle_duration():
+    cpu = Cpu(0)
+    cpu.mark_busy(0)
+    assert cpu.idle_duration(100) == 0
+    cpu.mark_idle(100)
+    assert cpu.idle_duration(350) == 250
+
+
+def test_nohz_balancer_flag_cleared_on_busy():
+    cpu = Cpu(0)
+    cpu.nohz_balancer = True
+    cpu.mark_busy(10)
+    assert not cpu.nohz_balancer
+
+
+def test_repr_states():
+    cpu = Cpu(2)
+    assert "idle" in repr(cpu)
+    cpu.online = False
+    assert "offline" in repr(cpu)

@@ -1,0 +1,202 @@
+"""Tests for scheduling-domain and scheduling-group construction.
+
+Includes the paper's published group sets for the buggy construction and
+the hotplug-regeneration behavior behind the Missing Scheduling Domains
+bug.
+"""
+
+import pytest
+
+from repro.sched.domains import DomainBuilder, SchedGroup, describe_domains
+from repro.sched.features import SchedFeatures
+from repro.topology import (
+    amd_bulldozer_64,
+    flat_smp,
+    single_node,
+    two_nodes,
+)
+
+BUGGY = SchedFeatures()
+FIXED_GROUPS = SchedFeatures().with_fixes("group_construction")
+FIXED_DOMAINS = SchedFeatures().with_fixes("missing_domains")
+
+
+def nodes_of_group(topo, group):
+    return sorted({topo.node_of(c) for c in group.cpus})
+
+
+class TestIntraNodeLevels:
+    def test_flat_smp_has_single_mc_level(self):
+        builder = DomainBuilder(flat_smp(4), BUGGY)
+        domains = builder.domains_of(0)
+        assert [d.name for d in domains] == ["MC"]
+        assert domains[0].span == frozenset(range(4))
+        assert all(len(g) == 1 for g in domains[0].groups)
+
+    def test_smt_level_present_with_smt(self):
+        topo = single_node(4, smt_width=2)
+        builder = DomainBuilder(topo, BUGGY)
+        domains = builder.domains_of(0)
+        assert domains[0].name == "SMT"
+        assert domains[0].span == frozenset({0, 1})
+        assert domains[1].name == "MC"
+        # MC groups are the SMT pairs.
+        assert {g.cpus for g in domains[1].groups} == {
+            frozenset({0, 1}), frozenset({2, 3})
+        }
+
+    def test_single_cpu_machine_has_no_domains(self):
+        builder = DomainBuilder(single_node(1), BUGGY)
+        assert builder.domains_of(0) == []
+
+    def test_levels_numbered_bottom_up(self):
+        builder = DomainBuilder(amd_bulldozer_64(), BUGGY)
+        levels = [d.level for d in builder.domains_of(0)]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+
+    def test_numa_flag(self):
+        builder = DomainBuilder(amd_bulldozer_64(), BUGGY)
+        domains = builder.domains_of(0)
+        assert [d.numa for d in domains] == [False, False, True, True]
+
+
+class TestPaperGroupSets:
+    """Section 3.2's exact published group construction."""
+
+    def setup_method(self):
+        self.topo = amd_bulldozer_64()
+
+    def test_buggy_machine_groups_shared_from_core0(self):
+        builder = DomainBuilder(self.topo, BUGGY)
+        for cpu in (0, 8, 16, 40):
+            top = builder.domains_of(cpu)[-1]
+            groups = [nodes_of_group(self.topo, g) for g in top.groups]
+            assert groups == [[0, 1, 2, 4, 6], [1, 2, 3, 4, 5, 7]]
+
+    def test_buggy_groups_overlap_on_nodes_1_and_2(self):
+        builder = DomainBuilder(self.topo, BUGGY)
+        top = builder.domains_of(16)[-1]
+        for group in top.groups:
+            nodes = nodes_of_group(self.topo, group)
+            assert 1 in nodes and 2 in nodes
+
+    def test_fixed_groups_are_per_perspective(self):
+        builder = DomainBuilder(self.topo, FIXED_GROUPS)
+        top_node1 = builder.domains_of(8)[-1]
+        top_node2 = builder.domains_of(16)[-1]
+        assert nodes_of_group(self.topo, top_node1.groups[0]) == [0, 1, 3, 5, 7]
+        assert nodes_of_group(self.topo, top_node2.groups[0]) == [0, 2, 3, 4, 6]
+
+    def test_fixed_groups_separate_nodes_1_and_2(self):
+        builder = DomainBuilder(self.topo, FIXED_GROUPS)
+        top = builder.domains_of(16)[-1]
+        local = top.local_group(16)
+        assert 1 not in nodes_of_group(self.topo, local)
+        other = [g for g in top.groups if g is not local]
+        assert any(
+            2 not in nodes_of_group(self.topo, g) for g in other
+        )
+
+    def test_one_hop_domain_spans(self):
+        builder = DomainBuilder(self.topo, BUGGY)
+        one_hop = builder.domains_of(0)[2]
+        assert one_hop.name == "NUMA-1hop"
+        assert {self.topo.node_of(c) for c in one_hop.span} == {0, 1, 2, 4, 6}
+        # Groups at the 1-hop level are single nodes.
+        assert all(
+            len(nodes_of_group(self.topo, g)) == 1 for g in one_hop.groups
+        )
+
+    def test_balance_mask_buggy_is_whole_group(self):
+        builder = DomainBuilder(self.topo, BUGGY)
+        top = builder.domains_of(16)[-1]
+        local = top.local_group(16)
+        assert local.balance_mask() == local.cpus
+
+    def test_balance_mask_fixed_is_seed_node(self):
+        builder = DomainBuilder(self.topo, FIXED_GROUPS)
+        top = builder.domains_of(16)[-1]
+        local = top.local_group(16)
+        assert local.balance_mask() == frozenset(self.topo.cpus_of_node(2))
+
+
+class TestHotplugRegeneration:
+    """Section 3.4: the dropped cross-node regeneration step."""
+
+    def test_buggy_drops_numa_levels_after_hotplug(self):
+        builder = DomainBuilder(amd_bulldozer_64(), BUGGY)
+        assert len(builder.domains_of(0)) == 4
+        builder.set_cpu_online(5, False)
+        builder.set_cpu_online(5, True)
+        names = [d.name for d in builder.domains_of(0)]
+        assert names == ["SMT", "MC"]
+        assert builder.top_level_span(0) == frozenset(range(8))
+
+    def test_fixed_regenerates_numa_levels(self):
+        builder = DomainBuilder(amd_bulldozer_64(), FIXED_DOMAINS)
+        builder.set_cpu_online(5, False)
+        builder.set_cpu_online(5, True)
+        names = [d.name for d in builder.domains_of(0)]
+        assert names == ["SMT", "MC", "NUMA-1hop", "NUMA-2hop"]
+        assert builder.top_level_span(0) == frozenset(range(64))
+
+    def test_bug_triggers_even_when_only_disabling(self):
+        builder = DomainBuilder(amd_bulldozer_64(), BUGGY)
+        builder.set_cpu_online(5, False)
+        assert builder.hotplug_happened
+        assert [d.name for d in builder.domains_of(0)] == ["SMT", "MC"]
+
+    def test_offline_cpu_excluded_everywhere(self):
+        builder = DomainBuilder(two_nodes(cores_per_node=2), FIXED_DOMAINS)
+        builder.set_cpu_online(1, False)
+        assert builder.domains_of(1) == []
+        for cpu in (0, 2, 3):
+            for domain in builder.domains_of(cpu):
+                assert 1 not in domain.span
+                assert all(1 not in g.cpus for g in domain.groups)
+
+    def test_cannot_offline_last_cpu(self):
+        builder = DomainBuilder(single_node(1), BUGGY)
+        with pytest.raises(ValueError):
+            builder.set_cpu_online(0, False)
+
+    def test_out_of_range_cpu(self):
+        builder = DomainBuilder(single_node(2), BUGGY)
+        with pytest.raises(ValueError):
+            builder.set_cpu_online(7, False)
+
+    def test_online_tracking(self):
+        builder = DomainBuilder(single_node(2), BUGGY)
+        assert builder.is_online(1)
+        builder.set_cpu_online(1, False)
+        assert not builder.is_online(1)
+        assert builder.online_cpus() == frozenset({0})
+
+
+class TestSchedGroup:
+    def test_contains_and_len(self):
+        group = SchedGroup(frozenset({1, 2}))
+        assert 1 in group
+        assert 3 not in group
+        assert len(group) == 2
+        assert group.sorted_cpus() == (1, 2)
+
+    def test_balance_mask_defaults_to_cpus(self):
+        group = SchedGroup(frozenset({1, 2}))
+        assert group.balance_mask() == frozenset({1, 2})
+
+    def test_local_group_lookup(self):
+        builder = DomainBuilder(two_nodes(cores_per_node=2), BUGGY)
+        domain = builder.domains_of(0)[0]
+        assert 0 in domain.local_group(0)
+        with pytest.raises(ValueError):
+            domain.local_group(99)
+
+
+def test_describe_domains_readable():
+    builder = DomainBuilder(two_nodes(cores_per_node=2), BUGGY)
+    text = describe_domains(builder, 0)
+    assert "scheduling domains of cpu 0" in text
+    assert "MC" in text
+    assert "group" in text

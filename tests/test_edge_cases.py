@@ -1,0 +1,95 @@
+"""Edge cases across modules: engine reentrancy, timeouts, presets."""
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import single_node
+from repro.topology.presets import ring_numa
+
+from tests.conftest import hog_spec
+
+
+def test_event_loop_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def nested():
+        try:
+            loop.run_until(100)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    loop.schedule(10, nested)
+    loop.run_until(50)
+    assert len(errors) == 1
+
+
+def test_run_while_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def nested():
+        try:
+            loop.run_while(lambda: True, 100)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    loop.schedule(10, nested)
+    loop.run_until(50)
+    assert len(errors) == 1
+
+
+def test_run_until_done_timeout_returns_false(uma_system):
+    task = uma_system.spawn(hog_spec(total_us=None))  # endless
+    assert not uma_system.run_until_done([task], 50 * MS)
+    assert uma_system.now == 50 * MS
+    assert task.alive
+
+
+def test_run_until_done_with_no_tasks(uma_system):
+    assert uma_system.run_until_done([], 10 * MS)
+
+
+def test_ring_numa_preset():
+    topo = ring_numa(nodes=5, cores_per_node=2)
+    assert topo.num_cpus == 10
+    assert topo.interconnect.diameter() == 2
+    # Ring of 5: node 0's neighbors are 1 and 4.
+    assert topo.interconnect.neighbors(0) == frozenset({1, 4})
+
+
+def test_system_start_idempotent():
+    system = System(single_node(2), seed=1)
+    system.start()
+    system.start()
+    system.run_for(5 * MS)
+    # Exactly one tick chain: 5 hooks would fire for 5 ticks.
+    ticks = []
+    system.tick_hooks.append(ticks.append)
+    system.run_for(3 * MS)
+    assert len(ticks) == 3
+
+
+def test_spawn_before_and_after_start(uma_system):
+    a = uma_system.spawn(hog_spec("a", total_us=2 * MS))
+    uma_system.run_for(1 * MS)
+    b = uma_system.spawn(hog_spec("b", total_us=2 * MS))
+    assert uma_system.run_until_done([a, b], 1 * SEC)
+
+
+def test_hotplug_all_but_one_core():
+    system = System(single_node(4), seed=1)
+    task = system.spawn(hog_spec(total_us=20 * MS))
+    for cpu in (1, 2, 3):
+        system.hotplug_cpu(cpu, False)
+    assert system.run_until_done([task], 1 * SEC)
+    assert task.stats.total_runtime_us == 20 * MS
+
+
+def test_offline_last_cpu_rejected():
+    system = System(single_node(2), seed=1)
+    system.hotplug_cpu(1, False)
+    with pytest.raises(ValueError):
+        system.hotplug_cpu(0, False)

@@ -1,0 +1,114 @@
+"""Tests for the energy-accounting model."""
+
+import pytest
+
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.stats.energy import (
+    EnergyReport,
+    PowerModel,
+    energy_waste_vs,
+    measure_energy,
+)
+from repro.topology import single_node, two_nodes
+from repro.workloads.base import LockAcquire, LockRelease, Run, TaskSpec
+from repro.workloads.sync import SpinLock
+
+from tests.conftest import hog_spec
+
+
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(busy_core_w=1.0, idle_core_w=2.0).validate()
+    with pytest.raises(ValueError):
+        PowerModel(idle_core_w=-1.0).validate()
+    PowerModel().validate()
+
+
+def test_idle_machine_burns_idle_plus_package():
+    system = System(single_node(2), seed=1)
+    system.run_for(1 * SEC)
+    model = PowerModel(busy_core_w=5.0, idle_core_w=1.0,
+                       package_w_per_node=10.0)
+    report = measure_energy(system, model=model)
+    # 2 idle core-seconds * 1 W + 1 s * 10 W package.
+    assert report.total_joules == pytest.approx(12.0, rel=0.01)
+    assert report.busy_core_seconds == 0.0
+    assert report.spin_joules == 0.0
+
+
+def test_busy_machine_energy():
+    system = System(single_node(2), seed=1)
+    tasks = [system.spawn(hog_spec(f"h{i}", total_us=1 * SEC), on_cpu=i)
+             for i in range(2)]
+    system.run_until_done(tasks, 3 * SEC)
+    model = PowerModel(busy_core_w=5.0, idle_core_w=1.0,
+                       package_w_per_node=0.0)
+    report = measure_energy(system, model=model)
+    assert report.busy_core_seconds == pytest.approx(2.0, rel=0.02)
+    assert report.total_joules == pytest.approx(10.0, rel=0.05)
+
+
+def test_spin_energy_attributed():
+    system = System(single_node(2), seed=1)
+    lock = SpinLock()
+
+    def holder():
+        def program():
+            yield LockAcquire(lock)
+            yield Run(20 * MS)
+            yield LockRelease(lock)
+        return program()
+
+    def waiter():
+        def program():
+            yield Run(1 * MS)
+            yield LockAcquire(lock)
+            yield LockRelease(lock)
+        return program()
+
+    tasks = [
+        system.spawn(TaskSpec("h", holder), on_cpu=0),
+        system.spawn(TaskSpec("w", waiter), on_cpu=1),
+    ]
+    system.run_until_done(tasks, 1 * SEC)
+    report = measure_energy(system)
+    assert report.spin_core_seconds >= 0.015
+    assert report.spin_joules > 0
+    assert 0 < report.spin_waste_fraction < 1
+
+
+def test_bug_wastes_energy_for_same_work():
+    """Same work, buggy vs fixed: the bug burns more joules (longer
+    makespan -> more package + idle energy)."""
+    reports = {}
+    for fixes, label in ((None, "buggy"), ("missing_domains", "fixed")):
+        features = SchedFeatures().without_autogroup()
+        if fixes:
+            features = features.with_fixes(fixes)
+        system = System(two_nodes(cores_per_node=2), features, seed=2)
+        system.hotplug_cpu(1, False)
+        system.hotplug_cpu(1, True)
+        tasks = [
+            system.spawn(hog_spec(f"t{i}", total_us=100 * MS), parent_cpu=0)
+            for i in range(4)
+        ]
+        system.run_until_done(tasks, 10 * SEC)
+        reports[label] = measure_energy(system, tasks)
+    assert reports["buggy"].total_joules > reports["fixed"].total_joules
+    waste = energy_waste_vs(reports["buggy"], reports["fixed"])
+    assert waste > 0.1  # a tenth of the energy, wasted
+
+
+def test_energy_waste_vs_edge_cases():
+    empty = EnergyReport(0, 0, 0, 0, 0.0, 0.0)
+    assert energy_waste_vs(empty, empty) == 0.0
+    assert empty.spin_waste_fraction == 0.0
+
+
+def test_describe():
+    report = EnergyReport(1.0, 2.0, 1.0, 0.5, 30.0, 3.0)
+    text = report.describe()
+    assert "30.0 J" in text
+    assert "10.0%" in text

@@ -1,0 +1,64 @@
+"""Tests for the scheduler feature flags."""
+
+import pytest
+
+from repro.sched.features import ALL_FIXED, MAINLINE, SchedFeatures
+
+
+def test_mainline_has_all_bugs():
+    assert not MAINLINE.fix_group_imbalance
+    assert not MAINLINE.fix_group_construction
+    assert not MAINLINE.fix_overload_on_wakeup
+    assert not MAINLINE.fix_missing_domains
+    assert MAINLINE.autogroup_enabled
+
+
+def test_all_fixed():
+    assert ALL_FIXED.fix_group_imbalance
+    assert ALL_FIXED.fix_group_construction
+    assert ALL_FIXED.fix_overload_on_wakeup
+    assert ALL_FIXED.fix_missing_domains
+
+
+def test_with_fixes_short_and_full_names():
+    f = SchedFeatures().with_fixes("group_imbalance", "fix_missing_domains")
+    assert f.fix_group_imbalance
+    assert f.fix_missing_domains
+    assert not f.fix_overload_on_wakeup
+
+
+def test_with_fixes_is_pure():
+    base = SchedFeatures()
+    base.with_fixes("all")
+    assert not base.fix_group_imbalance  # original untouched (frozen)
+
+
+def test_with_fixes_unknown():
+    with pytest.raises(ValueError):
+        SchedFeatures().with_fixes("not_a_fix")
+
+
+def test_without_autogroup():
+    f = SchedFeatures().without_autogroup()
+    assert not f.autogroup_enabled
+    assert SchedFeatures().autogroup_enabled
+
+
+def test_describe_mentions_each_flag():
+    text = SchedFeatures().with_fixes("overload_on_wakeup").describe()
+    assert "overload_on_wakeup=fixed" in text
+    assert "group_imbalance=buggy" in text
+    assert "autogroup=on" in text
+
+
+def test_ablation_defaults_on():
+    f = SchedFeatures()
+    assert f.nohz_idle_balance_enabled
+    assert f.newidle_balance_enabled
+    assert f.wakeup_preemption_enabled
+    assert f.migration_cost_us == 500
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        SchedFeatures().fix_group_imbalance = True  # type: ignore

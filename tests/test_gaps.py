@@ -1,0 +1,119 @@
+"""Tests for the straggler-gap analyzer (Figure 3's narrative)."""
+
+import pytest
+
+from repro.viz.events import NrRunningEvent, TraceBuffer
+from repro.viz.gaps import (
+    ActivityGap,
+    activity_series,
+    analyze_gaps,
+    find_gaps,
+)
+
+
+def trace_of(*events):
+    buf = TraceBuffer(1000)
+    for e in events:
+        buf.append(e)
+    return buf
+
+
+def test_activity_series_counts_active_cores():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 1),
+        NrRunningEvent(10, 1, 2),
+        NrRunningEvent(20, 0, 0),
+        NrRunningEvent(30, 1, 0),
+    )
+    assert activity_series(trace, 2) == [(0, 1), (10, 2), (20, 1), (30, 0)]
+
+
+def test_activity_series_merges_same_timestamp():
+    trace = trace_of(
+        NrRunningEvent(5, 0, 1),
+        NrRunningEvent(5, 1, 1),
+    )
+    assert activity_series(trace, 2) == [(5, 2)]
+
+
+def test_no_gap_when_steady():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 1),
+        NrRunningEvent(0, 1, 1),
+        NrRunningEvent(100_000, 0, 1),
+    )
+    assert find_gaps(trace, 2) == []
+
+
+def test_gap_detected_when_activity_collapses():
+    events = [NrRunningEvent(0, c, 1) for c in range(4)]
+    # All four cores go quiet at t=10ms, resume at t=15ms.
+    events += [NrRunningEvent(10_000, c, 0) for c in range(4)]
+    events += [NrRunningEvent(15_000, c, 1) for c in range(4)]
+    gaps = find_gaps(trace_of(*events), 4, min_duration_us=1000)
+    assert len(gaps) == 1
+    gap = gaps[0]
+    assert gap.start_us == 10_000
+    assert gap.end_us == 15_000
+    assert gap.duration_us == 5_000
+    assert gap.min_active_cores == 0
+
+
+def test_short_blips_filtered():
+    events = [NrRunningEvent(0, c, 1) for c in range(4)]
+    events += [NrRunningEvent(10_000, c, 0) for c in range(4)]
+    events += [NrRunningEvent(10_200, c, 1) for c in range(4)]
+    assert find_gaps(trace_of(*events), 4, min_duration_us=1000) == []
+
+
+def test_empty_trace():
+    assert find_gaps(trace_of(), 4) == []
+    report = analyze_gaps(trace_of(), 4, span_us=0)
+    assert report.gap_time_fraction == 0.0
+    assert report.mean_recovery_us == 0.0
+
+
+def test_analyze_gaps_combines_episodes():
+    # Sustained imbalance: cpu0 overloaded, cpu1 idle for 10ms.
+    trace = trace_of(
+        NrRunningEvent(0, 0, 2),
+        NrRunningEvent(0, 1, 0),
+        NrRunningEvent(10_000, 1, 1),
+    )
+    report = analyze_gaps(trace, 2, span_us=20_000, episode_min_us=2_000)
+    assert len(report.episodes) == 1
+    assert report.mean_recovery_us == pytest.approx(10_000)
+    assert "episode" in report.describe()
+
+
+def test_gap_report_fraction():
+    report_gaps = [ActivityGap(0, 5_000, 0), ActivityGap(10_000, 15_000, 1)]
+    from repro.viz.gaps import GapReport
+
+    report = GapReport(gaps=report_gaps, episodes=[], span_us=100_000)
+    assert report.gap_time_fraction == pytest.approx(0.1)
+
+
+def test_gaps_shrink_with_wakeup_fix():
+    """End to end: the buggy DB run shows more straggler-gap time."""
+    from repro.experiments.figure3 import run_database_traced
+    from repro.experiments.harness import ExperimentConfig
+    from repro.sched.features import SchedFeatures
+
+    results = {}
+    base = SchedFeatures().without_autogroup()
+    for label, features in (
+        ("buggy", base),
+        ("fixed", base.with_fixes("overload_on_wakeup")),
+    ):
+        run = run_database_traced(
+            ExperimentConfig(features, seed=42, scale=0.5), queries=4
+        )
+        report = analyze_gaps(run.trace, run.num_cpus, run.span_us)
+        results[label] = report
+    # Both runs have natural inter-round gaps; the buggy one's imbalance
+    # episodes are at least as numerous/long.
+    assert (
+        sum(e.duration_us for e in results["buggy"].episodes)
+        >= sum(e.duration_us for e in results["fixed"].episodes)
+    )

@@ -1,0 +1,108 @@
+"""Property-based tests for the interconnect graph and heatmap math."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.interconnect import Interconnect, hop_levels
+from repro.viz.events import NrRunningEvent, TraceBuffer
+from repro.viz.heatmap import HeatmapBuilder
+
+
+@st.composite
+def connected_graphs(draw):
+    """A random connected graph: a spanning path plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    links = [(i, i + 1) for i in range(n - 1)]
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    for a, b in extra:
+        if a != b:
+            links.append((a, b))
+    return Interconnect(n, links)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=connected_graphs())
+def test_distance_is_a_metric(graph):
+    n = graph.num_nodes
+    matrix = graph.distance_matrix()
+    for a in range(n):
+        assert matrix[a][a] == 0
+        for b in range(n):
+            # Symmetry.
+            assert matrix[a][b] == matrix[b][a]
+            assert matrix[a][b] >= (0 if a == b else 1)
+            # Triangle inequality.
+            for c in range(n):
+                assert matrix[a][b] <= matrix[a][c] + matrix[c][b]
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=connected_graphs())
+def test_nodes_within_is_monotone(graph):
+    diameter = graph.diameter()
+    for node in range(graph.num_nodes):
+        previous = frozenset({node})
+        for hops in range(diameter + 1):
+            current = graph.nodes_within(node, hops)
+            assert previous <= current
+            previous = current
+        assert previous == frozenset(range(graph.num_nodes))
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=connected_graphs())
+def test_hop_levels_cover_diameter(graph):
+    levels = list(hop_levels(graph))
+    if graph.num_nodes > 1:
+        assert levels[0] == 1
+        assert levels[-1] == graph.diameter()
+        assert levels == sorted(set(levels))
+
+
+@st.composite
+def step_functions(draw):
+    """A random nr_running step function on one cpu."""
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100_000),
+                st.integers(min_value=0, max_value=8),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    events.sort()
+    # Deduplicate timestamps (last write wins, like the tracer).
+    return [NrRunningEvent(t, 0, v) for t, v in events]
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=step_functions(), bins=st.integers(min_value=1, max_value=16))
+def test_heatmap_bin_values_bounded_by_extremes(events, bins):
+    trace = TraceBuffer(100)
+    for e in events:
+        trace.append(e)
+    builder = HeatmapBuilder(1, 0, 100_001, bins=bins)
+    row = builder.from_trace(trace)[0]
+    values = [e.nr_running for e in events] + [0]
+    assert all(min(values) - 1e-9 <= v <= max(values) + 1e-9 for v in row)
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(min_value=0, max_value=10),
+       bins=st.integers(min_value=1, max_value=12))
+def test_heatmap_constant_function_exact(value, bins):
+    trace = TraceBuffer(10)
+    trace.append(NrRunningEvent(0, 0, value))
+    builder = HeatmapBuilder(1, 0, 50_000, bins=bins)
+    row = builder.from_trace(trace)[0]
+    assert all(abs(v - value) < 1e-9 for v in row)

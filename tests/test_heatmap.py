@@ -1,0 +1,113 @@
+"""Tests for heatmap construction and rendering."""
+
+import pytest
+
+from repro.viz.events import LoadEvent, NrRunningEvent, TraceBuffer
+from repro.viz.heatmap import (
+    HeatmapBuilder,
+    render_ascii_heatmap,
+    render_svg_heatmap,
+)
+
+
+def trace_of(*events):
+    buf = TraceBuffer(1000)
+    for e in events:
+        buf.append(e)
+    return buf
+
+
+def test_builder_validation():
+    with pytest.raises(ValueError):
+        HeatmapBuilder(2, 100, 100)
+    with pytest.raises(ValueError):
+        HeatmapBuilder(2, 0, 100, bins=0)
+
+
+def test_constant_value_fills_all_bins():
+    trace = trace_of(NrRunningEvent(0, 0, 3))
+    matrix = HeatmapBuilder(1, 0, 1000, bins=4).from_trace(trace)
+    assert matrix == [[3.0, 3.0, 3.0, 3.0]]
+
+
+def test_step_function_bins():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 2),
+        NrRunningEvent(500, 0, 0),
+    )
+    matrix = HeatmapBuilder(1, 0, 1000, bins=2).from_trace(trace)
+    assert matrix == [[2.0, 0.0]]
+
+
+def test_partial_bin_time_weighted():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 4),
+        NrRunningEvent(250, 0, 0),
+    )
+    matrix = HeatmapBuilder(1, 0, 1000, bins=1).from_trace(trace)
+    assert matrix[0][0] == pytest.approx(1.0)  # 4 for a quarter of the bin
+
+
+def test_value_in_effect_before_window():
+    trace = trace_of(NrRunningEvent(0, 0, 5))
+    matrix = HeatmapBuilder(1, 10_000, 20_000, bins=2).from_trace(trace)
+    assert matrix == [[5.0, 5.0]]
+
+
+def test_events_after_window_ignored():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 1),
+        NrRunningEvent(50_000, 0, 9),
+    )
+    matrix = HeatmapBuilder(1, 0, 10_000, bins=1).from_trace(trace)
+    assert matrix == [[1.0]]
+
+
+def test_cpu_without_events_stays_zero():
+    trace = trace_of(NrRunningEvent(0, 1, 2))
+    matrix = HeatmapBuilder(2, 0, 1000, bins=1).from_trace(trace)
+    assert matrix[0] == [0.0]
+    assert matrix[1] == [2.0]
+
+
+def test_load_event_extraction():
+    trace = trace_of(LoadEvent(0, 0, 512.0))
+    matrix = HeatmapBuilder(1, 0, 1000, bins=1).from_trace(trace, LoadEvent)
+    assert matrix == [[512.0]]
+
+
+def test_ascii_render_shape():
+    matrix = [[0.0, 1.0], [2.0, 0.5]]
+    text = render_ascii_heatmap(matrix, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("cpu  0")
+    assert lines[2].startswith("cpu  1")
+    assert "scale" in lines[-1]
+
+
+def test_ascii_render_node_separators():
+    matrix = [[1.0, 1.0, 1.0]] * 4
+    text = render_ascii_heatmap(matrix, cores_per_node=2)
+    assert sum(1 for line in text.splitlines() if "---" in line) == 1
+
+
+def test_ascii_zero_max_handled():
+    text = render_ascii_heatmap([[0.0, 0.0]])
+    assert "cpu  0" in text
+
+
+def test_svg_render_is_valid_document():
+    matrix = [[0.0, 2.0], [1.0, 3.0]]
+    svg = render_svg_heatmap(
+        matrix, cores_per_node=1, title="t", t0_us=0, t1_us=1_000_000
+    )
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert "rect" in svg
+    assert "0.00s" in svg and "1.00s" in svg
+
+
+def test_svg_grayscale_mode():
+    svg = render_svg_heatmap([[1.0]], grayscale=True)
+    assert "rgb(" in svg

@@ -1,0 +1,138 @@
+"""Tests for the NUMA interconnect graph."""
+
+import pytest
+
+from repro.topology.interconnect import (
+    Interconnect,
+    hop_levels,
+    reachability_table,
+)
+from repro.topology.presets import AMD_BULLDOZER_LINKS
+
+
+def test_fully_connected_distances():
+    ic = Interconnect.fully_connected(4)
+    for a in range(4):
+        for b in range(4):
+            assert ic.distance(a, b) == (0 if a == b else 1)
+    assert ic.diameter() == 1
+    assert ic.is_symmetric_diameter()
+
+
+def test_ring_distances():
+    ic = Interconnect.ring(6)
+    assert ic.distance(0, 3) == 3
+    assert ic.distance(0, 1) == 1
+    assert ic.distance(0, 5) == 1
+    assert ic.diameter() == 3
+    assert not ic.is_symmetric_diameter()
+
+
+def test_neighbors_symmetry():
+    ic = Interconnect(3, [(0, 1), (1, 2)])
+    assert ic.neighbors(1) == frozenset({0, 2})
+    assert 1 in ic.neighbors(0)
+    assert 1 in ic.neighbors(2)
+
+
+def test_self_link_rejected():
+    with pytest.raises(ValueError):
+        Interconnect(2, [(0, 0)])
+
+
+def test_out_of_range_node_rejected():
+    ic = Interconnect(2)
+    with pytest.raises(ValueError):
+        ic.add_link(0, 5)
+    with pytest.raises(ValueError):
+        ic.neighbors(2)
+    with pytest.raises(ValueError):
+        ic.nodes_within(-1, 1)
+
+
+def test_nonpositive_nodes_rejected():
+    with pytest.raises(ValueError):
+        Interconnect(0)
+
+
+def test_disconnected_graph_detected():
+    ic = Interconnect(4, [(0, 1), (2, 3)])
+    assert not ic.is_connected()
+    with pytest.raises(ValueError):
+        ic.validate()
+    with pytest.raises(ValueError):
+        ic.distance(0, 2)
+
+
+def test_nodes_within():
+    ic = Interconnect.ring(6)
+    assert ic.nodes_within(0, 0) == frozenset({0})
+    assert ic.nodes_within(0, 1) == frozenset({0, 1, 5})
+    assert ic.nodes_within(0, 2) == frozenset({0, 1, 2, 4, 5})
+    with pytest.raises(ValueError):
+        ic.nodes_within(0, -1)
+
+
+def test_nodes_within_negative_hops_rejected():
+    ic = Interconnect.fully_connected(2)
+    with pytest.raises(ValueError):
+        ic.nodes_within(0, -2)
+
+
+def test_hop_levels():
+    assert list(hop_levels(Interconnect.fully_connected(4))) == [1]
+    assert list(hop_levels(Interconnect.ring(6))) == [1, 2, 3]
+    assert list(hop_levels(Interconnect(1))) == []
+
+
+def test_links_listing():
+    ic = Interconnect(3, [(2, 1), (0, 1)])
+    assert ic.links() == [(0, 1), (1, 2)]
+
+
+def test_add_link_invalidates_distance_cache():
+    ic = Interconnect(3, [(0, 1)])
+    assert ic.distance(0, 1) == 1
+    ic.add_link(1, 2)
+    assert ic.distance(0, 2) == 2
+
+
+def test_reachability_table():
+    ic = Interconnect.ring(4)  # levels 1, 2
+    table = reachability_table(ic)
+    assert table[0][0] == frozenset({0, 1, 3})
+    assert table[0][1] == frozenset({0, 1, 2, 3})
+
+
+class TestBulldozerTopology:
+    """The paper's published topology constraints (Section 3.2)."""
+
+    def setup_method(self):
+        self.ic = Interconnect(8, AMD_BULLDOZER_LINKS)
+
+    def test_node0_one_hop_set(self):
+        assert self.ic.neighbors(0) == frozenset({1, 2, 4, 6})
+
+    def test_node3_one_hop_set(self):
+        assert self.ic.neighbors(3) == frozenset({1, 2, 4, 5, 7})
+
+    def test_nodes_1_and_2_are_two_hops_apart(self):
+        assert self.ic.distance(1, 2) == 2
+
+    def test_diameter_is_two(self):
+        assert self.ic.diameter() == 2
+
+    def test_connected(self):
+        assert self.ic.is_connected()
+
+    def test_asymmetric(self):
+        assert not self.ic.is_symmetric_diameter()
+
+    def test_every_node_within_two_hops(self):
+        for node in range(8):
+            assert self.ic.nodes_within(node, 2) == frozenset(range(8))
+
+
+def test_repr_mentions_size():
+    ic = Interconnect.fully_connected(3)
+    assert "num_nodes=3" in repr(ic)

@@ -1,0 +1,97 @@
+"""Tests for the work-conserving invariant (Algorithm 2)."""
+
+from repro.core.invariant import find_violations, has_violation, violation_pairs
+from repro.sched.features import SchedFeatures
+from repro.sched.scheduler import Scheduler
+from repro.sched.task import Task
+from repro.topology import single_node
+
+FEATURES = SchedFeatures().without_autogroup()
+
+
+def make_sched(cpus=4):
+    return Scheduler(single_node(cpus), FEATURES)
+
+
+def overload(sched, cpu_id, queued=1, allowed=None):
+    """Put one running + N queued tasks on a CPU."""
+    runner = Task(f"run{cpu_id}")
+    sched.register_task(runner)
+    sched.enqueue_task_on(runner, cpu_id, 0)
+    sched.pick_next_task(cpu_id, 0)
+    tasks = []
+    for i in range(queued):
+        t = Task(f"q{cpu_id}.{i}", allowed_cpus=allowed)
+        sched.register_task(t)
+        sched.enqueue_task_on(t, cpu_id, 0)
+        tasks.append(t)
+    sched.drain_pending()
+    return tasks
+
+
+def test_no_violation_when_all_idle():
+    sched = make_sched()
+    assert find_violations(sched, 0) == []
+    assert not has_violation(sched, 0)
+
+
+def test_no_violation_when_balanced():
+    sched = make_sched(2)
+    overload(sched, 0, queued=0)
+    overload(sched, 1, queued=0)
+    assert not has_violation(sched, 0)
+
+
+def test_violation_idle_plus_overloaded():
+    sched = make_sched(2)
+    overload(sched, 0, queued=1)
+    violations = find_violations(sched, 123)
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.idle_cpu == 1
+    assert v.busy_cpu == 0
+    assert v.busy_nr_running == 2
+    assert v.time_us == 123
+    assert len(v.stealable_tids) == 1
+    assert has_violation(sched, 123)
+
+
+def test_single_running_task_is_not_overload():
+    sched = make_sched(2)
+    overload(sched, 0, queued=0)
+    assert not has_violation(sched, 0)
+
+
+def test_affinity_blocks_violation():
+    """A pinned waiting task does not violate the invariant."""
+    sched = make_sched(2)
+    overload(sched, 0, queued=1, allowed=frozenset({0}))
+    assert find_violations(sched, 0) == []
+    assert not has_violation(sched, 0)
+
+
+def test_offline_cpu_not_a_violation_party():
+    sched = make_sched(3)
+    overload(sched, 0, queued=1)
+    sched.set_cpu_online(1, False, 0)
+    sched.set_cpu_online(2, False, 0)
+    assert find_violations(sched, 0) == []
+
+
+def test_multiple_pairs_reported():
+    sched = make_sched(4)
+    overload(sched, 0, queued=2)
+    overload(sched, 1, queued=1)
+    pairs = violation_pairs(find_violations(sched, 0))
+    assert (2, 0) in pairs
+    assert (3, 0) in pairs
+    assert (2, 1) in pairs
+    assert (3, 1) in pairs
+
+
+def test_describe():
+    sched = make_sched(2)
+    overload(sched, 0, queued=1)
+    text = find_violations(sched, 55)[0].describe()
+    assert "cpu 1 idle" in text
+    assert "t=55us" in text

@@ -1,0 +1,104 @@
+"""Tests for the load-tracking metric (weight x utilization / group)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.load import (
+    UTIL_HALFLIFE_US,
+    LoadTracker,
+    task_load,
+)
+
+
+def test_new_tracker_starts_at_full_util():
+    tracker = LoadTracker(now=0)
+    assert tracker.util == 1.0
+
+
+def test_util_decays_while_idle():
+    tracker = LoadTracker(now=0)
+    tracker.update(UTIL_HALFLIFE_US, was_running=False)
+    assert tracker.util == pytest.approx(0.5, rel=0.01)
+    tracker.update(2 * UTIL_HALFLIFE_US, was_running=False)
+    assert tracker.util == pytest.approx(0.25, rel=0.01)
+
+
+def test_util_recovers_while_running():
+    tracker = LoadTracker(now=0, initial_util=0.0)
+    tracker.update(UTIL_HALFLIFE_US, was_running=True)
+    assert tracker.util == pytest.approx(0.5, rel=0.01)
+
+
+def test_update_is_monotone_in_direction():
+    tracker = LoadTracker(now=0, initial_util=0.5)
+    up = tracker.peek(1000, is_running=True)
+    down = tracker.peek(1000, is_running=False)
+    assert down < 0.5 < up
+
+
+def test_stale_update_ignored():
+    tracker = LoadTracker(now=100)
+    before = tracker.util
+    assert tracker.update(50, was_running=False) == before
+    assert tracker.last_update_us == 100
+
+
+def test_peek_does_not_mutate():
+    tracker = LoadTracker(now=0)
+    tracker.peek(10_000, is_running=False)
+    assert tracker.util == 1.0
+    assert tracker.last_update_us == 0
+
+
+@settings(max_examples=200)
+@given(
+    initial=st.floats(min_value=0.0, max_value=1.0),
+    steps=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=200_000), st.booleans()
+        ),
+        max_size=30,
+    ),
+)
+def test_util_always_in_unit_interval(initial, steps):
+    tracker = LoadTracker(now=0, initial_util=initial)
+    now = 0
+    for delta, running in steps:
+        now += delta
+        util = tracker.update(now, was_running=running)
+        assert 0.0 <= util <= 1.0
+
+
+@given(duration=st.integers(min_value=1, max_value=10_000_000))
+def test_long_run_converges_to_one(duration):
+    tracker = LoadTracker(now=0, initial_util=0.0)
+    tracker.update(duration + 20 * UTIL_HALFLIFE_US, was_running=True)
+    assert tracker.util > 0.99
+
+
+def test_task_load_combines_three_factors():
+    # weight x util / divisor -- the paper's metric.
+    assert task_load(1024, 1.0, 1) == 1024
+    assert task_load(1024, 0.5, 1) == 512
+    assert task_load(1024, 1.0, 64) == 16
+    assert task_load(2048, 0.25, 2) == 256
+
+
+def test_task_load_clamps_util():
+    assert task_load(1024, 1.7, 1) == 1024
+    assert task_load(1024, -0.3, 1) == 0
+
+
+def test_task_load_errors():
+    with pytest.raises(ValueError):
+        task_load(0, 1.0, 1)
+    with pytest.raises(ValueError):
+        task_load(1024, 1.0, 0)
+
+
+def test_group_divisor_matches_paper_example():
+    """A make thread (64-thread autogroup) has ~1/64 the load of R."""
+    make_thread = task_load(1024, 1.0, 64)
+    r_thread = task_load(1024, 1.0, 1)
+    assert r_thread / make_thread == 64

@@ -1,0 +1,116 @@
+"""Tests for the machine model (cores, SMT, nodes, Table 5)."""
+
+import pytest
+
+from repro.topology import (
+    MachineTopology,
+    amd_bulldozer_64,
+    dual_core,
+    flat_smp,
+    paper_figure1_machine,
+    single_node,
+    two_nodes,
+)
+from repro.topology.interconnect import Interconnect
+from repro.topology.presets import ring_numa
+
+
+def test_core_numbering_dense():
+    topo = two_nodes(cores_per_node=4)
+    assert topo.num_cpus == 8
+    assert [c.cpu_id for c in topo.cores] == list(range(8))
+
+
+def test_node_membership():
+    topo = two_nodes(cores_per_node=4)
+    assert topo.node_of(0) == 0
+    assert topo.node_of(4) == 1
+    assert topo.cpus_of_node(1) == (4, 5, 6, 7)
+    assert 5 in topo.nodes[1]
+    assert 5 not in topo.nodes[0]
+
+
+def test_smt_siblings():
+    topo = MachineTopology(nodes=1, cores_per_node=4, smt_width=2)
+    assert topo.smt_siblings(0) == frozenset({0, 1})
+    assert topo.smt_siblings(1) == frozenset({0, 1})
+    assert topo.smt_siblings(2) == frozenset({2, 3})
+
+
+def test_smt_disabled_means_singleton_siblings():
+    topo = flat_smp(4)
+    assert topo.smt_siblings(2) == frozenset({2})
+
+
+def test_llc_siblings_are_node():
+    topo = two_nodes(cores_per_node=4)
+    assert topo.llc_siblings(5) == frozenset({4, 5, 6, 7})
+    assert topo.shares_llc(4, 7)
+    assert not topo.shares_llc(3, 4)
+
+
+def test_cpus_of_nodes_union():
+    topo = two_nodes(cores_per_node=2)
+    assert topo.cpus_of_nodes([0, 1]) == frozenset(range(4))
+
+
+def test_node_distance():
+    topo = ring_numa(nodes=4, cores_per_node=2)
+    assert topo.node_distance(0, 1) == 0  # same node
+    assert topo.node_distance(0, 2) == 1  # adjacent nodes
+    assert topo.node_distance(0, 4) == 2  # across the ring
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=0, cores_per_node=2)
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=1, cores_per_node=0)
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=1, cores_per_node=3, smt_width=2)
+    with pytest.raises(ValueError):
+        MachineTopology(nodes=1, cores_per_node=2, smt_width=0)
+    with pytest.raises(ValueError):
+        MachineTopology(
+            nodes=3, cores_per_node=2,
+            interconnect=Interconnect.fully_connected(2),
+        )
+
+
+def test_core_lookup_bounds():
+    topo = dual_core()
+    with pytest.raises(ValueError):
+        topo.core(2)
+    with pytest.raises(ValueError):
+        topo.cpus_of_node(1)
+
+
+def test_bulldozer_spec():
+    topo = amd_bulldozer_64()
+    assert topo.num_cpus == 64
+    assert topo.num_nodes == 8
+    assert topo.cores_per_node == 8
+    assert topo.smt_width == 2
+    described = topo.describe()
+    assert "64" in described
+    assert "2.1" in described
+    assert "512" in described
+    assert "HyperTransport" in described
+
+
+def test_figure1_machine_shape():
+    topo = paper_figure1_machine()
+    assert topo.num_cpus == 32
+    assert topo.num_nodes == 4
+    # Node 0 reaches two nodes in one hop, the third in two hops.
+    assert topo.interconnect.neighbors(0) == frozenset({1, 2})
+    assert topo.interconnect.distance(0, 3) == 2
+
+
+def test_all_cpus():
+    topo = single_node(3)
+    assert topo.all_cpus() == frozenset({0, 1, 2})
+
+
+def test_repr():
+    assert "nodes=2" in repr(two_nodes())

@@ -1,0 +1,156 @@
+"""Unit and property-based tests for the red-black tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.rbtree import RBTree
+
+
+def test_empty_tree():
+    tree = RBTree()
+    assert len(tree) == 0
+    assert not tree
+    assert tree.leftmost() is None
+    assert tree.rightmost() is None
+    assert 1 not in tree
+    tree.validate()
+
+
+def test_insert_and_lookup():
+    tree = RBTree()
+    tree.insert(5, "five")
+    tree.insert(3, "three")
+    tree.insert(8, "eight")
+    assert tree.get(5) == "five"
+    assert tree.get(99, "default") == "default"
+    assert 3 in tree
+    assert len(tree) == 3
+
+
+def test_duplicate_key_rejected():
+    tree = RBTree()
+    tree.insert(1, "a")
+    with pytest.raises(KeyError):
+        tree.insert(1, "b")
+
+
+def test_remove_returns_value():
+    tree = RBTree()
+    tree.insert(1, "a")
+    assert tree.remove(1) == "a"
+    assert len(tree) == 0
+    with pytest.raises(KeyError):
+        tree.remove(1)
+
+
+def test_leftmost_rightmost():
+    tree = RBTree()
+    for k in (5, 2, 9, 7, 1):
+        tree.insert(k, str(k))
+    assert tree.leftmost() == (1, "1")
+    assert tree.rightmost() == (9, "9")
+
+
+def test_pop_leftmost():
+    tree = RBTree()
+    for k in (3, 1, 2):
+        tree.insert(k)
+    assert tree.pop_leftmost() == (1, None)
+    assert tree.pop_leftmost() == (2, None)
+    assert tree.pop_leftmost() == (3, None)
+    with pytest.raises(KeyError):
+        tree.pop_leftmost()
+
+
+def test_inorder_iteration():
+    tree = RBTree()
+    keys = [7, 3, 9, 1, 5, 8]
+    for k in keys:
+        tree.insert(k, k * 10)
+    assert list(tree.keys()) == sorted(keys)
+    assert list(tree.values()) == [k * 10 for k in sorted(keys)]
+    assert list(tree.items()) == [(k, k * 10) for k in sorted(keys)]
+
+
+def test_tuple_keys():
+    """The runqueue uses (vruntime, tid) composite keys."""
+    tree = RBTree()
+    tree.insert((100, 2), "b")
+    tree.insert((100, 1), "a")
+    tree.insert((50, 9), "c")
+    assert tree.leftmost() == ((50, 9), "c")
+    assert [v for _, v in tree.items()] == ["c", "a", "b"]
+
+
+def test_height_is_logarithmic():
+    tree = RBTree()
+    for k in range(1024):
+        tree.insert(k)
+    # RB trees guarantee height <= 2*log2(n+1).
+    assert tree.height() <= 2 * 11
+    tree.validate()
+
+
+def test_sequential_insert_delete():
+    tree = RBTree()
+    for k in range(100):
+        tree.insert(k)
+        tree.validate()
+    for k in range(0, 100, 2):
+        tree.remove(k)
+        tree.validate()
+    assert list(tree.keys()) == list(range(1, 100, 2))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=200)),
+        max_size=120,
+    )
+)
+def test_matches_reference_model(ops):
+    """Random insert/remove interleavings match a dict+sorted model."""
+    tree = RBTree()
+    model = {}
+    for is_insert, key in ops:
+        if is_insert:
+            if key in model:
+                continue
+            model[key] = key * 3
+            tree.insert(key, key * 3)
+        else:
+            if key in model:
+                assert tree.remove(key) == model.pop(key)
+            else:
+                with pytest.raises(KeyError):
+                    tree.remove(key)
+        tree.validate()
+        assert len(tree) == len(model)
+    assert list(tree.keys()) == sorted(model)
+    if model:
+        assert tree.leftmost()[0] == min(model)
+        assert tree.rightmost()[0] == max(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.sets(st.integers(), max_size=200))
+def test_iteration_sorted_property(keys):
+    tree = RBTree()
+    for k in keys:
+        tree.insert(k)
+    assert list(tree.keys()) == sorted(keys)
+    tree.validate()
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.sets(st.integers(min_value=0, max_value=10_000), min_size=1))
+def test_pop_leftmost_drains_in_order(keys):
+    tree = RBTree()
+    for k in keys:
+        tree.insert(k)
+    drained = []
+    while tree:
+        drained.append(tree.pop_leftmost()[0])
+    assert drained == sorted(keys)

@@ -1,0 +1,123 @@
+"""Tests for run metrics."""
+
+import pytest
+
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.stats.metrics import (
+    IdleOverloadSampler,
+    machine_utilization,
+    node_busy_times,
+    per_cpu_busy_fractions,
+    summarize_tasks,
+)
+from repro.topology import single_node, two_nodes
+
+from tests.conftest import hog_spec, sleeper_spec
+
+
+def test_sampler_zero_on_healthy_system(uma_system):
+    sampler = IdleOverloadSampler()
+    sampler.attach(uma_system)
+    tasks = [
+        uma_system.spawn(hog_spec(f"h{i}", total_us=20 * MS))
+        for i in range(4)
+    ]
+    uma_system.run_until_done(tasks, 1 * SEC)
+    assert sampler.violation_fraction < 0.2
+    assert sampler.samples > 0
+
+
+def test_sampler_catches_stuck_state():
+    system = System(
+        two_nodes(cores_per_node=2),
+        SchedFeatures().without_autogroup(),
+        seed=1,
+    )
+    system.hotplug_cpu(1, False)
+    system.hotplug_cpu(1, True)
+    sampler = IdleOverloadSampler()
+    sampler.attach(system)
+    for i in range(4):
+        system.spawn(hog_spec(f"h{i}"), parent_cpu=0)
+    system.run_for(200 * MS)
+    assert sampler.violation_fraction > 0.9
+    assert sampler.wasted_core_time_us > 100 * MS
+
+
+def test_sampler_attach_detach(uma_system):
+    sampler = IdleOverloadSampler()
+    sampler.attach(uma_system)
+    with pytest.raises(RuntimeError):
+        sampler.attach(uma_system)
+    uma_system.run_for(5 * MS)
+    sampler.detach()
+    seen = sampler.samples
+    uma_system.run_for(5 * MS)
+    assert sampler.samples == seen
+    sampler.detach()  # idempotent
+
+
+def test_summarize_tasks_complete(uma_system):
+    tasks = [
+        uma_system.spawn(sleeper_spec(f"s{i}", cycles=3)) for i in range(2)
+    ]
+    uma_system.run_until_done(tasks, 1 * SEC)
+    summary = summarize_tasks(tasks)
+    assert summary.count == 2
+    assert summary.completed == 2
+    assert summary.total_runtime_us == 2 * 3 * MS
+    assert summary.total_wakeups == 6
+    # run_until_done may overshoot by up to one tick after the last exit.
+    assert 0 < summary.makespan_us <= uma_system.now
+    assert summary.spin_fraction == 0.0
+
+
+def test_summarize_tasks_incomplete(uma_system):
+    task = uma_system.spawn(hog_spec(total_us=None))  # never exits
+    uma_system.run_for(10 * MS)
+    summary = summarize_tasks([task])
+    assert summary.completed == 0
+    assert summary.makespan_us is None
+
+
+def test_summarize_empty():
+    summary = summarize_tasks([])
+    assert summary.count == 0
+    assert summary.makespan_us is None
+
+
+def test_machine_utilization(uma_system):
+    tasks = [
+        uma_system.spawn(hog_spec(f"h{i}", total_us=50 * MS))
+        for i in range(4)
+    ]
+    uma_system.run_until_done(tasks, 1 * SEC)
+    assert machine_utilization(uma_system) == pytest.approx(1.0, abs=0.05)
+
+
+def test_machine_utilization_before_start():
+    system = System(single_node(2), seed=1)
+    assert machine_utilization(system) == 0.0
+
+
+def test_node_busy_times(small_system):
+    small_system.spawn(hog_spec(total_us=10 * MS), on_cpu=0)
+    small_system.run_for(20 * MS)
+    busy = node_busy_times(small_system)
+    assert busy[0] == 10 * MS
+    assert busy[1] == 0
+
+
+def test_per_cpu_busy_fractions(uma_system):
+    uma_system.spawn(hog_spec(total_us=10 * MS), on_cpu=2)
+    uma_system.run_for(10 * MS)
+    fractions = per_cpu_busy_fractions(uma_system)
+    assert fractions[2] == pytest.approx(1.0)
+    assert fractions[0] == 0.0
+
+
+def test_per_cpu_busy_fractions_at_time_zero():
+    system = System(single_node(2), seed=1)
+    assert per_cpu_busy_fractions(system) == [0.0, 0.0]

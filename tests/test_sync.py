@@ -1,0 +1,382 @@
+"""Tests for the synchronization primitives (state machines + executor)."""
+
+import pytest
+
+from repro.sched.task import Task, TaskState
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import single_node
+from repro.workloads.base import (
+    BarrierWait,
+    FlagAdvance,
+    FlagWait,
+    LockAcquire,
+    LockRelease,
+    Run,
+    TaskSpec,
+)
+from repro.workloads.sync import Barrier, Channel, Mutex, SpinFlag, SpinLock
+
+
+def running(name="t"):
+    task = Task(name)
+    task.state = TaskState.RUNNING
+    return task
+
+
+def runnable(name="t"):
+    task = Task(name)
+    task.state = TaskState.RUNNABLE
+    return task
+
+
+# ---------------------------------------------------------------------------
+# pure state-machine behavior
+# ---------------------------------------------------------------------------
+
+
+class TestSpinLock:
+    def test_uncontended_acquire(self):
+        lock = SpinLock()
+        t = running()
+        assert lock.acquire(t)
+        assert lock.holder is t
+        assert lock.acquisitions == 1
+
+    def test_contended_acquire_queues(self):
+        lock = SpinLock()
+        a, b = running("a"), running("b")
+        lock.acquire(a)
+        assert not lock.acquire(b)
+        assert lock.is_waiting(b)
+        assert lock.contended_acquisitions == 1
+
+    def test_reacquire_while_held_rejected(self):
+        lock = SpinLock()
+        t = running()
+        lock.acquire(t)
+        with pytest.raises(RuntimeError):
+            lock.acquire(t)
+
+    def test_release_grants_to_running_waiter(self):
+        lock = SpinLock()
+        a, b = running("a"), running("b")
+        lock.acquire(a)
+        lock.acquire(b)
+        granted = lock.release(a)
+        assert granted is b
+        assert lock.holder is b
+        assert not lock.waiters
+
+    def test_release_skips_preempted_waiters(self):
+        lock = SpinLock()
+        a = running("a")
+        preempted = runnable("p")
+        lock.acquire(a)
+        lock.acquire(preempted)
+        assert lock.release(a) is None
+        assert lock.holder is None
+        assert lock.is_waiting(preempted)
+
+    def test_release_prefers_earliest_running_waiter(self):
+        lock = SpinLock()
+        a = running("a")
+        first = runnable("first")  # arrived first but preempted
+        second = running("second")
+        lock.acquire(a)
+        lock.acquire(first)
+        lock.acquire(second)
+        assert lock.release(a) is second
+        assert lock.is_waiting(first)
+
+    def test_release_by_non_holder_rejected(self):
+        lock = SpinLock()
+        lock.acquire(running("a"))
+        with pytest.raises(RuntimeError):
+            lock.release(running("b"))
+
+    def test_try_steal(self):
+        lock = SpinLock()
+        a = running("a")
+        p = runnable("p")
+        lock.acquire(a)
+        lock.acquire(p)
+        lock.release(a)
+        assert lock.try_steal(p)
+        assert lock.holder is p
+        assert not lock.try_steal(running("other"))
+
+
+class TestMutex:
+    def test_release_hands_off_fifo(self):
+        lock = Mutex()
+        a, b, c = running("a"), running("b"), running("c")
+        lock.acquire(a)
+        lock.acquire(b)
+        lock.acquire(c)
+        assert lock.release(a) is b
+        assert lock.holder is b
+        assert lock.release(b) is c
+
+    def test_release_with_no_waiters_frees(self):
+        lock = Mutex()
+        a = running("a")
+        lock.acquire(a)
+        assert lock.release(a) is None
+        assert lock.holder is None
+
+
+class TestBarrier:
+    def test_trips_on_last_arrival(self):
+        bar = Barrier(3)
+        a, b, c = running("a"), running("b"), running("c")
+        assert bar.arrive(a) == (False, [])
+        assert bar.arrive(b) == (False, [])
+        passed, released = bar.arrive(c)
+        assert passed
+        assert released == [a, b]
+        assert bar.generation == 1
+        assert bar.completions == 1
+
+    def test_reusable(self):
+        bar = Barrier(2)
+        a, b = running("a"), running("b")
+        bar.arrive(a)
+        bar.arrive(b)
+        bar.arrive(a)
+        passed, released = bar.arrive(b)
+        assert passed and released == [a]
+        assert bar.generation == 2
+
+    def test_has_passed(self):
+        bar = Barrier(2)
+        gen = bar.generation
+        bar.arrive(running("a"))
+        assert not bar.has_passed(gen)
+        bar.arrive(running("b"))
+        assert bar.has_passed(gen)
+
+    def test_double_arrival_rejected(self):
+        bar = Barrier(3)
+        a = running("a")
+        bar.arrive(a)
+        with pytest.raises(RuntimeError):
+            bar.arrive(a)
+
+    def test_single_party_always_passes(self):
+        bar = Barrier(1)
+        assert bar.arrive(running())[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+        with pytest.raises(ValueError):
+            Barrier(2, mode="bogus")
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        ch = Channel()
+        assert ch.put() is None
+        assert ch.tokens == 1
+        assert ch.get(running())
+        assert ch.tokens == 0
+
+    def test_get_blocks_then_put_wakes(self):
+        ch = Channel()
+        t = running()
+        assert not ch.get(t)
+        woken = ch.put()
+        assert woken is t
+        assert ch.tokens == 0  # direct hand-off, no token left
+
+    def test_fifo_waiters(self):
+        ch = Channel()
+        a, b = running("a"), running("b")
+        ch.get(a)
+        ch.get(b)
+        assert ch.put() is a
+        assert ch.put() is b
+
+
+class TestSpinFlag:
+    def test_satisfied_without_wait(self):
+        flag = SpinFlag()
+        flag.value = 5
+        assert flag.wait(running(), 3)
+
+    def test_wait_then_advance_releases(self):
+        flag = SpinFlag()
+        t = running()
+        assert not flag.wait(t, 2)
+        assert flag.advance() == []  # value 1 < 2
+        assert flag.advance() == [t]
+        assert not flag.waiters
+
+    def test_advance_amount(self):
+        flag = SpinFlag()
+        t = running()
+        flag.wait(t, 10)
+        assert flag.advance(10) == [t]
+        with pytest.raises(ValueError):
+            flag.advance(0)
+
+    def test_drop_waiter(self):
+        flag = SpinFlag()
+        t = running()
+        flag.wait(t, 1)
+        flag.drop_waiter(t)
+        assert flag.advance() == []
+
+
+# ---------------------------------------------------------------------------
+# executor integration
+# ---------------------------------------------------------------------------
+
+
+def test_spinning_waiter_burns_cpu():
+    """A spinlock waiter occupies its CPU and accrues spin time."""
+    system = System(single_node(2), seed=1)
+    lock = SpinLock()
+
+    def holder():
+        def program():
+            yield LockAcquire(lock)
+            yield Run(10 * MS)
+            yield LockRelease(lock)
+        return program()
+
+    def waiter():
+        def program():
+            yield Run(1 * MS)  # let the holder take the lock first
+            yield LockAcquire(lock)
+            yield LockRelease(lock)
+        return program()
+
+    h = system.spawn(TaskSpec("holder", holder), on_cpu=0)
+    w = system.spawn(TaskSpec("waiter", waiter), on_cpu=1)
+    system.run_until_done([h, w], 1 * SEC)
+    assert not w.alive
+    # The waiter spun for roughly the holder's remaining critical section.
+    assert w.stats.spin_time_us >= 8 * MS
+    # Spinning kept the CPU busy the whole time.
+    assert system.cpu(1).busy_time_us >= 9 * MS
+
+
+def test_descheduled_holder_makes_waiters_spin_longer():
+    """Oversubscription + spinlock = the paper's wasted-cycles effect."""
+    system = System(single_node(1), seed=1)
+    lock = SpinLock()
+
+    def worker():
+        def program():
+            for _ in range(5):
+                yield LockAcquire(lock)
+                yield Run(2 * MS)
+                yield LockRelease(lock)
+        return program()
+
+    tasks = [
+        system.spawn(TaskSpec(f"w{i}", worker), on_cpu=0) for i in range(3)
+    ]
+    assert system.run_until_done(tasks, 5 * SEC)
+    total_spin = sum(t.stats.spin_time_us for t in tasks)
+    assert total_spin > 0
+
+
+def test_blocking_mutex_sleeps_instead_of_spinning():
+    system = System(single_node(2), seed=1)
+    lock = Mutex()
+
+    def holder():
+        def program():
+            yield LockAcquire(lock)
+            yield Run(10 * MS)
+            yield LockRelease(lock)
+        return program()
+
+    def waiter():
+        def program():
+            yield Run(1 * MS)
+            yield LockAcquire(lock)
+            yield LockRelease(lock)
+        return program()
+
+    h = system.spawn(TaskSpec("h", holder), on_cpu=0)
+    w = system.spawn(TaskSpec("w", waiter), on_cpu=1)
+    system.run_until_done([h, w], 1 * SEC)
+    assert w.stats.spin_time_us == 0
+    # CPU 1 went idle while the waiter was blocked.
+    assert system.cpu(1).idle_time_us > 5 * MS
+
+
+def test_spin_barrier_lockstep():
+    system = System(single_node(4), seed=1)
+    bar = Barrier(4, mode="spin")
+    finished_iterations = []
+
+    def worker(rank):
+        def factory():
+            def program():
+                for it in range(3):
+                    yield Run((rank + 1) * MS)  # deliberately skewed
+                    yield BarrierWait(bar)
+                finished_iterations.append(rank)
+            return program()
+        return factory
+
+    tasks = [
+        system.spawn(TaskSpec(f"b{i}", worker(i)), on_cpu=i)
+        for i in range(4)
+    ]
+    assert system.run_until_done(tasks, 1 * SEC)
+    assert bar.completions == 3
+    assert sorted(finished_iterations) == [0, 1, 2, 3]
+    # Fast ranks spun waiting for the slowest.
+    assert tasks[0].stats.spin_time_us > tasks[3].stats.spin_time_us
+
+
+def test_blocking_barrier_releases_all():
+    system = System(single_node(2), seed=1)
+    bar = Barrier(3, mode="block")
+
+    def worker(rank):
+        def factory():
+            def program():
+                yield Run((rank + 1) * MS)
+                yield BarrierWait(bar)
+                yield Run(1 * MS)
+            return program()
+        return factory
+
+    tasks = [
+        system.spawn(TaskSpec(f"b{i}", worker(i)), on_cpu=i % 2)
+        for i in range(3)
+    ]
+    assert system.run_until_done(tasks, 1 * SEC)
+    assert all(not t.alive for t in tasks)
+    assert bar.completions == 1
+
+
+def test_spinflag_pipeline_ordering():
+    system = System(single_node(3), seed=1)
+    flags = [SpinFlag(f"f{i}") for i in range(3)]
+    order = []
+
+    def stage(rank):
+        def factory():
+            def program():
+                if rank > 0:
+                    yield FlagWait(flags[rank - 1], 1)
+                yield Run(1 * MS)
+                order.append(rank)
+                yield FlagAdvance(flags[rank])
+            return program()
+        return factory
+
+    tasks = [
+        system.spawn(TaskSpec(f"s{i}", stage(i)), on_cpu=i)
+        for i in range(3)
+    ]
+    assert system.run_until_done(tasks, 1 * SEC)
+    assert order == [0, 1, 2]

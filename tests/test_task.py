@@ -1,0 +1,99 @@
+"""Tests for tasks: state, affinity, load."""
+
+import pytest
+
+from repro.sched.cgroup import CGroupManager
+from repro.sched.task import Task, TaskState, reset_tid_counter
+from repro.sched.weights import NICE_0_WEIGHT, weight_for_nice
+
+
+def test_new_task_defaults():
+    task = Task("t")
+    assert task.state is TaskState.NEW
+    assert task.nice == 0
+    assert task.weight == NICE_0_WEIGHT
+    assert task.vruntime == 0
+    assert task.cpu is None
+    assert task.prev_cpu is None
+    assert task.alive
+    assert not task.on_rq
+
+
+def test_weight_follows_nice():
+    assert Task("hi", nice=-5).weight == weight_for_nice(-5)
+    assert Task("lo", nice=10).weight == weight_for_nice(10)
+
+
+def test_tids_unique_and_resettable():
+    reset_tid_counter(100)
+    a = Task("a")
+    b = Task("b")
+    assert (a.tid, b.tid) == (100, 101)
+    reset_tid_counter()
+    assert Task("c").tid == 1
+
+
+def test_affinity_default_allows_all():
+    task = Task("t")
+    assert task.can_run_on(0)
+    assert task.can_run_on(63)
+
+
+def test_affinity_mask():
+    task = Task("t", allowed_cpus=frozenset({1, 2}))
+    assert task.can_run_on(1)
+    assert not task.can_run_on(0)
+
+
+def test_set_affinity():
+    task = Task("t")
+    task.set_affinity(frozenset({3}))
+    assert not task.can_run_on(0)
+    task.set_affinity(None)
+    assert task.can_run_on(0)
+    with pytest.raises(ValueError):
+        task.set_affinity(frozenset())
+
+
+def test_load_uses_cgroup_divisor():
+    manager = CGroupManager()
+    group = manager.create_group("g")
+    tasks = [Task(f"t{i}") for i in range(4)]
+    for t in tasks:
+        manager.attach(t, group)
+    # Full utilization at t=0, divisor 4.
+    assert tasks[0].load() == pytest.approx(1024 / 4)
+
+
+def test_load_without_cgroup():
+    task = Task("t")
+    assert task.load() == pytest.approx(1024)
+
+
+def test_load_decays_with_time_when_not_running():
+    task = Task("t", now=0)
+    task.state = TaskState.SLEEPING
+    later = task.load(now=100_000)
+    assert later < 1024
+
+
+def test_on_rq_states():
+    task = Task("t")
+    task.state = TaskState.RUNNABLE
+    assert task.on_rq
+    task.state = TaskState.RUNNING
+    assert task.on_rq
+    task.state = TaskState.BLOCKED
+    assert not task.on_rq
+
+
+def test_exited_not_alive():
+    task = Task("t")
+    task.state = TaskState.EXITED
+    assert not task.alive
+
+
+def test_repr_contains_name_and_state():
+    task = Task("mytask")
+    assert "mytask" in repr(task)
+    assert "new" in repr(task)

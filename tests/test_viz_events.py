@@ -1,0 +1,142 @@
+"""Tests for probes and the fixed-size trace buffer."""
+
+import pytest
+
+from repro.viz.events import (
+    BalanceEvent,
+    ConsideredEvent,
+    FanoutProbe,
+    LifecycleEvent,
+    LoadEvent,
+    MigrationEvent,
+    NrRunningEvent,
+    Probe,
+    TraceBuffer,
+    TraceProbe,
+    WakeupEvent,
+)
+
+
+def test_buffer_capacity_enforced():
+    buf = TraceBuffer(capacity=3)
+    for i in range(5):
+        buf.append(NrRunningEvent(i, 0, 1))
+    assert len(buf) == 3
+    assert buf.dropped == 2
+    assert [e.time_us for e in buf] == [0, 1, 2]
+
+
+def test_buffer_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceBuffer(0)
+
+
+def test_buffer_clear():
+    buf = TraceBuffer(2)
+    buf.append(NrRunningEvent(0, 0, 1))
+    buf.append(NrRunningEvent(1, 0, 1))
+    buf.append(NrRunningEvent(2, 0, 1))
+    buf.clear()
+    assert len(buf) == 0
+    assert buf.dropped == 0
+
+
+def test_buffer_of_type_and_span():
+    buf = TraceBuffer(10)
+    buf.append(NrRunningEvent(5, 0, 1))
+    buf.append(LoadEvent(9, 0, 1.0))
+    assert len(buf.of_type(NrRunningEvent)) == 1
+    assert len(buf.of_type(LoadEvent)) == 1
+    assert buf.time_span() == (5, 9)
+    assert TraceBuffer(1).time_span() == (0, 0)
+
+
+def test_base_probe_is_noop():
+    probe = Probe()
+    probe.on_nr_running(0, 0, 1)
+    probe.on_rq_load(0, 0, 1.0)
+    probe.on_considered(0, 0, "x", [1])
+    probe.on_migration(0, 1, 0, 1, "r")
+    probe.on_wakeup(0, 1, 0, None, True)
+    probe.on_lifecycle(0, 1, "fork", 0)
+    probe.on_balance(0, 0, "MC", 0.0, None, "balanced")
+
+
+def test_trace_probe_records_all_kinds():
+    probe = TraceProbe()
+    probe.on_nr_running(1, 0, 2)
+    probe.on_rq_load(2, 0, 3.5)
+    probe.on_considered(3, 0, "lb", [0, 1])
+    probe.on_migration(4, 7, 0, 1, "r")
+    probe.on_wakeup(5, 7, 1, 0, False)
+    probe.on_lifecycle(6, 7, "fork", 1)
+    probe.on_balance(7, 0, "MC", 1.0, 2.0, "moved:1")
+    kinds = {type(e) for e in probe.buffer}
+    assert kinds == {
+        NrRunningEvent, LoadEvent, ConsideredEvent, MigrationEvent,
+        WakeupEvent, LifecycleEvent, BalanceEvent,
+    }
+
+
+def test_trace_probe_selective_recording():
+    probe = TraceProbe(
+        record_nr_running=False,
+        record_load=False,
+        record_considered=False,
+        record_migrations=False,
+        record_wakeups=False,
+        record_lifecycle=False,
+    )
+    probe.on_nr_running(1, 0, 2)
+    probe.on_rq_load(2, 0, 3.5)
+    probe.on_considered(3, 0, "lb", [0])
+    probe.on_migration(4, 7, 0, 1, "r")
+    probe.on_wakeup(5, 7, 1, 0, False)
+    probe.on_lifecycle(6, 7, "fork", 1)
+    probe.on_balance(7, 0, "MC", 1.0, None, "balanced")
+    assert len(probe.buffer) == 0
+
+
+def test_considered_stored_as_frozenset():
+    probe = TraceProbe()
+    probe.on_considered(0, 1, "op", [3, 1, 2])
+    event = probe.buffer.of_type(ConsideredEvent)[0]
+    assert event.considered == frozenset({1, 2, 3})
+
+
+class _Counter(Probe):
+    def __init__(self):
+        self.calls = 0
+
+    def on_nr_running(self, now, cpu, nr_running):
+        self.calls += 1
+
+
+def test_fanout_forwards_to_all():
+    a, b = _Counter(), _Counter()
+    fan = FanoutProbe([a])
+    fan.add(b)
+    fan.on_nr_running(0, 0, 1)
+    assert (a.calls, b.calls) == (1, 1)
+    fan.remove(a)
+    fan.on_nr_running(0, 0, 1)
+    assert (a.calls, b.calls) == (1, 2)
+
+
+def test_fanout_remove_missing_raises():
+    fan = FanoutProbe()
+    with pytest.raises(ValueError):
+        fan.remove(Probe())
+
+
+def test_fanout_forwards_every_hook():
+    probe = TraceProbe()
+    fan = FanoutProbe([probe])
+    fan.on_nr_running(1, 0, 1)
+    fan.on_rq_load(1, 0, 1.0)
+    fan.on_considered(1, 0, "op", [0])
+    fan.on_migration(1, 2, 0, 1, "r")
+    fan.on_wakeup(1, 2, 0, None, True)
+    fan.on_lifecycle(1, 2, "exit", None)
+    fan.on_balance(1, 0, "MC", 0.0, 1.0, "blocked")
+    assert len(probe.buffer) == 7

@@ -1,0 +1,169 @@
+"""Tests for SVG primitives, considered-cores plots, and timelines."""
+
+from repro.viz.considered import (
+    considered_core_sets,
+    coverage_fraction,
+    render_ascii_considered,
+    render_svg_considered,
+)
+from repro.viz.events import (
+    ConsideredEvent,
+    MigrationEvent,
+    NrRunningEvent,
+    TraceBuffer,
+    WakeupEvent,
+)
+from repro.viz.svg import SvgCanvas, gray_color, heat_color, lerp_color, rgb
+from repro.viz.timeline import (
+    migration_counts,
+    render_task_timeline,
+    task_placements,
+    wakeup_busy_fraction,
+)
+
+
+def trace_of(*events):
+    buf = TraceBuffer(1000)
+    for e in events:
+        buf.append(e)
+    return buf
+
+
+# -- svg ---------------------------------------------------------------------
+
+
+def test_rgb_formatting():
+    assert rgb((1, 2, 3)) == "rgb(1,2,3)"
+
+
+def test_lerp_color_endpoints_and_clamp():
+    a, b = (0, 0, 0), (100, 200, 50)
+    assert lerp_color(a, b, 0.0) == a
+    assert lerp_color(a, b, 1.0) == b
+    assert lerp_color(a, b, -1.0) == a
+    assert lerp_color(a, b, 2.0) == b
+    assert lerp_color(a, b, 0.5) == (50, 100, 25)
+
+
+def test_heat_color_ramp():
+    assert heat_color(0.0) == (255, 255, 255)  # idle is white
+    assert heat_color(1.0) == (189, 0, 38)
+    mid = heat_color(0.5)
+    assert mid != heat_color(0.0) and mid != heat_color(1.0)
+
+
+def test_gray_color_ramp():
+    assert gray_color(0.0) == (255, 255, 255)
+    assert gray_color(1.0) == (0, 0, 0)
+
+
+def test_canvas_document():
+    canvas = SvgCanvas(100, 50)
+    canvas.rect(0, 0, 10, 10, "red")
+    canvas.line(0, 0, 10, 10)
+    canvas.text(5, 5, "a<b&c>d")
+    canvas.color_legend(80, 0, 40, heat_color, "lo", "hi")
+    svg = canvas.to_svg()
+    assert svg.startswith("<svg")
+    assert "a&lt;b&amp;c&gt;d" in svg
+    assert 'width="100"' in svg
+
+
+def test_canvas_save(tmp_path):
+    canvas = SvgCanvas(10, 10)
+    path = tmp_path / "out.svg"
+    canvas.save(str(path))
+    assert path.read_text().startswith("<svg")
+
+
+# -- considered --------------------------------------------------------------
+
+
+def test_considered_core_sets_filters():
+    trace = trace_of(
+        ConsideredEvent(1, 0, "load_balance", frozenset({0, 1})),
+        ConsideredEvent(2, 1, "load_balance", frozenset({2})),
+        ConsideredEvent(3, 0, "select_idle_sibling", frozenset({3})),
+    )
+    events = considered_core_sets(trace, 0, "load_balance")
+    assert len(events) == 1
+    assert events[0].considered == frozenset({0, 1})
+    assert len(considered_core_sets(trace, 0)) == 2
+
+
+def test_coverage_fraction():
+    events = [
+        ConsideredEvent(1, 0, "lb", frozenset({0, 1})),
+        ConsideredEvent(2, 0, "lb", frozenset({1, 2})),
+    ]
+    assert coverage_fraction(events, 8) == 3 / 8
+    assert coverage_fraction([], 8) == 0.0
+    assert coverage_fraction(events, 0) == 0.0
+
+
+def test_render_ascii_considered():
+    trace = trace_of(
+        ConsideredEvent(1000, 0, "load_balance", frozenset({0, 1})),
+    )
+    text = render_ascii_considered(trace, 0, 4)
+    assert "##.." in text
+    assert "cpu 0" in text
+
+
+def test_render_svg_considered():
+    trace = trace_of(
+        NrRunningEvent(0, 0, 2),
+        ConsideredEvent(500_000, 0, "load_balance", frozenset({0, 1})),
+    )
+    svg = render_svg_considered(
+        trace, 0, 4, 0, 1_000_000, cores_per_node=2, title="f5"
+    )
+    assert svg.startswith("<svg")
+    assert "f5" in svg
+
+
+# -- timeline ----------------------------------------------------------------
+
+
+def test_task_placements_merges_wakeups_and_migrations():
+    trace = trace_of(
+        WakeupEvent(100, 7, 2, None, True),
+        MigrationEvent(200, 7, 2, 5, "balance"),
+        WakeupEvent(300, 7, 5, 1, False),
+    )
+    placements = task_placements(trace)
+    assert placements[7] == [(100, 2), (200, 5), (300, 5)]
+
+
+def test_migration_counts():
+    trace = trace_of(
+        MigrationEvent(1, 7, 0, 1, "r"),
+        MigrationEvent(2, 7, 1, 0, "r"),
+        MigrationEvent(3, 9, 0, 1, "r"),
+    )
+    assert migration_counts(trace) == {7: 2, 9: 1}
+
+
+def test_wakeup_busy_fraction():
+    trace = trace_of(
+        WakeupEvent(1, 7, 0, None, True),
+        WakeupEvent(2, 7, 0, None, False),
+        WakeupEvent(3, 7, 0, None, False),
+    )
+    assert wakeup_busy_fraction(trace) == 2 / 3
+    assert wakeup_busy_fraction(trace_of()) == 0.0
+
+
+def test_render_task_timeline():
+    trace = trace_of(
+        WakeupEvent(0, 7, 2, None, True),
+        WakeupEvent(1000, 7, 13, None, True),
+    )
+    text = render_task_timeline(trace, 7)
+    assert "tid     7" in text
+    assert "2" in text and "3" in text  # cores mod 10
+    assert "^" in text  # migration marker
+
+
+def test_render_task_timeline_unknown_task():
+    assert "no placement events" in render_task_timeline(trace_of(), 99)

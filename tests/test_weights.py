@@ -1,0 +1,89 @@
+"""Tests for the nice-to-weight table and vruntime math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sched.weights import (
+    MAX_NICE,
+    MIN_NICE,
+    NICE_0_WEIGHT,
+    PRIO_TO_WEIGHT,
+    PRIO_TO_WMULT,
+    nice_for_weight,
+    vruntime_delta,
+    weight_for_nice,
+)
+
+
+def test_nice_zero_weight():
+    assert weight_for_nice(0) == NICE_0_WEIGHT == 1024
+
+
+def test_table_kernel_anchor_values():
+    # Spot-check against the kernel's sched_prio_to_weight table.
+    assert weight_for_nice(-20) == 88761
+    assert weight_for_nice(-10) == 9548
+    assert weight_for_nice(10) == 110
+    assert weight_for_nice(19) == 15
+
+
+def test_table_monotonically_decreasing():
+    assert list(PRIO_TO_WEIGHT) == sorted(PRIO_TO_WEIGHT, reverse=True)
+
+
+def test_each_nice_step_is_about_25_percent():
+    for i in range(len(PRIO_TO_WEIGHT) - 1):
+        ratio = PRIO_TO_WEIGHT[i] / PRIO_TO_WEIGHT[i + 1]
+        assert 1.1 < ratio < 1.4
+
+
+def test_out_of_range_nice():
+    with pytest.raises(ValueError):
+        weight_for_nice(MIN_NICE - 1)
+    with pytest.raises(ValueError):
+        weight_for_nice(MAX_NICE + 1)
+
+
+def test_wmult_inverse():
+    for w, inv in zip(PRIO_TO_WEIGHT, PRIO_TO_WMULT):
+        assert inv == (1 << 32) // w
+
+
+def test_vruntime_delta_nice0_is_identity():
+    assert vruntime_delta(1000, NICE_0_WEIGHT) == 1000
+
+
+def test_vruntime_delta_scales_with_weight():
+    heavy = vruntime_delta(1000, weight_for_nice(-5))
+    light = vruntime_delta(1000, weight_for_nice(5))
+    assert heavy < 1000 < light
+
+
+def test_vruntime_delta_errors():
+    with pytest.raises(ValueError):
+        vruntime_delta(-1, 1024)
+    with pytest.raises(ValueError):
+        vruntime_delta(10, 0)
+
+
+def test_nice_for_weight_roundtrip():
+    for nice in range(MIN_NICE, MAX_NICE + 1):
+        assert nice_for_weight(weight_for_nice(nice)) == nice
+
+
+def test_nice_for_weight_nearest():
+    assert nice_for_weight(1000) == 0  # closest to 1024
+    with pytest.raises(ValueError):
+        nice_for_weight(0)
+
+
+@given(
+    exec_us=st.integers(min_value=0, max_value=10**9),
+    nice=st.integers(min_value=MIN_NICE, max_value=MAX_NICE),
+)
+def test_vruntime_delta_nonnegative_and_monotone(exec_us, nice):
+    delta = vruntime_delta(exec_us, weight_for_nice(nice))
+    assert delta >= 0
+    if exec_us > 0:
+        assert vruntime_delta(exec_us + 1000, weight_for_nice(nice)) >= delta

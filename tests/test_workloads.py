@@ -1,0 +1,300 @@
+"""Tests for the workload models: make, NAS, database, transients, R."""
+
+import pytest
+
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import single_node
+from repro.workloads.base import Run, jittered
+from repro.workloads.cpubound import cpu_hog_program, periodic_task, r_process
+from repro.workloads.database import (
+    Database,
+    QueryResult,
+    query18,
+    tpch_queries,
+)
+from repro.workloads.make import MakeJob, kernel_make, make_workers
+from repro.workloads.nas import NAS_PROFILES, all_nas_names, nas_app
+from repro.workloads.transient import TransientLoad, transient_spec
+
+import random
+
+
+# -- base helpers ------------------------------------------------------------
+
+
+def test_run_phase_validation():
+    with pytest.raises(ValueError):
+        Run(-1)
+
+
+def test_jittered_bounds():
+    rng = random.Random(1)
+    for _ in range(100):
+        value = jittered(rng, 1000, 0.2)
+        assert 800 <= value <= 1200
+    assert jittered(rng, 0) == 0
+
+
+# -- cpubound ----------------------------------------------------------------
+
+
+def test_r_process_runs_in_own_autogroup():
+    system = System(single_node(2), SchedFeatures(), seed=1)
+    task = system.spawn(r_process("R1", tty="ttyR", total_us=5 * MS))
+    assert task.cgroup.name == "autogroup:ttyR"
+    assert system.run_until_done([task], 1 * SEC)
+    assert task.stats.total_runtime_us == 5 * MS
+
+
+def test_cpu_hog_unbounded():
+    program = cpu_hog_program(None)()
+    phases = [next(program) for _ in range(5)]
+    assert all(isinstance(p, Run) for p in phases)
+
+
+def test_periodic_task_cycles():
+    system = System(single_node(2), seed=1)
+    task = system.spawn(periodic_task("p", 1 * MS, 1 * MS, cycles=4))
+    assert system.run_until_done([task], 1 * SEC)
+    assert task.stats.wakeups == 4
+
+
+# -- make --------------------------------------------------------------------
+
+
+def test_make_job_pool_drains():
+    job = MakeJob(total_jobs=5, compile_mean_us=1000)
+    durations = [job.take_job() for _ in range(5)]
+    assert all(d is not None for d in durations)
+    assert job.take_job() is None
+
+
+def test_make_job_validation():
+    with pytest.raises(ValueError):
+        MakeJob(total_jobs=0)
+
+
+def test_make_workers_complete_all_jobs():
+    system = System(single_node(4), SchedFeatures(), seed=1)
+    job = MakeJob(total_jobs=30, compile_mean_us=2000, io_pause_us=100)
+    tasks = [system.spawn(s) for s in make_workers(job, 4)]
+    assert system.run_until_done(tasks, 5 * SEC)
+    assert job.completed == 30
+    assert job.done
+
+
+def test_make_workers_share_autogroup():
+    system = System(single_node(2), SchedFeatures(), seed=1)
+    job = MakeJob(total_jobs=2)
+    tasks = [system.spawn(s) for s in make_workers(job, 2, tty="ttyM")]
+    assert tasks[0].cgroup is tasks[1].cgroup
+    assert tasks[0].cgroup.nr_threads == 2
+
+
+def test_make_workers_validation():
+    with pytest.raises(ValueError):
+        make_workers(MakeJob(total_jobs=1), 0)
+
+
+def test_make_driver_forks_compiles():
+    from repro.workloads.make import make_driver
+
+    system = System(single_node(4), SchedFeatures(), seed=1)
+    job = MakeJob(total_jobs=20, compile_mean_us=2000, io_pause_us=100)
+    driver = system.spawn(make_driver(job, parallelism=4, tty="ttyM"))
+    assert system.run_until_done([driver], 10 * SEC)
+    assert job.completed == 20
+    # One short-lived compile task per job, plus the driver.
+    compiles = [t for t in system.spawned if t.name.startswith("cc-")]
+    assert len(compiles) == 20
+    assert all(not t.alive for t in compiles)
+    # All in make's autogroup.
+    assert all(s.cgroup.name == "autogroup:ttyM"
+               for s in [driver] if s.cgroup is not None)
+
+
+def test_make_driver_bounds_parallelism():
+    from repro.workloads.make import make_driver
+
+    system = System(single_node(2), SchedFeatures(), seed=1)
+    job = MakeJob(total_jobs=30, compile_mean_us=3000, io_pause_us=0)
+    driver = system.spawn(make_driver(job, parallelism=3))
+    peak = [0]
+
+    def watch(now):
+        alive = sum(
+            1 for t in system.spawned
+            if t.name.startswith("cc-") and t.alive
+        )
+        peak[0] = max(peak[0], alive)
+
+    system.tick_hooks.append(watch)
+    assert system.run_until_done([driver], 10 * SEC)
+    assert peak[0] <= 4  # -j 3 plus one mid-spawn
+
+
+def test_make_driver_validation():
+    from repro.workloads.make import make_driver
+
+    with pytest.raises(ValueError):
+        make_driver(MakeJob(total_jobs=1), parallelism=0)
+
+
+def test_kernel_make_factory():
+    specs = kernel_make(nr_workers=8, total_jobs=10)
+    assert len(specs) == 8
+    assert all(s.tty == "tty-make" for s in specs)
+
+
+# -- NAS ---------------------------------------------------------------------
+
+
+def test_all_nine_nas_apps_defined():
+    assert set(all_nas_names()) == {
+        "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua",
+    }
+
+
+def test_nas_profiles_shape():
+    assert NAS_PROFILES["lu"].pipeline
+    assert NAS_PROFILES["ep"].barrier_every > 1  # rarely synchronizes
+    assert NAS_PROFILES["ua"].lock_hold_us > 0
+    assert NAS_PROFILES["is"].io_sleep_us > 0
+
+
+def test_nas_unknown_app():
+    with pytest.raises(KeyError):
+        nas_app("zz", 4)
+
+
+def test_nas_thread_validation():
+    with pytest.raises(ValueError):
+        nas_app("cg", 0)
+
+
+@pytest.mark.parametrize("name", all_nas_names())
+def test_each_nas_app_completes(name):
+    system = System(
+        single_node(4), SchedFeatures().without_autogroup(), seed=3
+    )
+    app = nas_app(name, 4, scale=0.05)
+    tasks = [system.spawn(s) for s in app.thread_specs()]
+    assert system.run_until_done(tasks, 60 * SEC), name
+    assert app.barrier.completions >= 1 or app.profile.barrier_every > 1
+
+
+def test_nas_affinity_applied():
+    app = nas_app("cg", 2, allowed_cpus=frozenset({0, 1}))
+    specs = app.thread_specs()
+    assert all(s.allowed_cpus == frozenset({0, 1}) for s in specs)
+
+
+def test_nas_scale_changes_iterations():
+    full = nas_app("cg", 2, scale=1.0)
+    half = nas_app("cg", 2, scale=0.5)
+    assert half.iterations == full.iterations // 2
+    assert nas_app("cg", 2, scale=0.0001).iterations >= 1
+
+
+def test_lu_pipeline_flags_created():
+    app = nas_app("lu", 4)
+    assert len(app.stage_flags) == 4
+    assert nas_app("cg", 4).stage_flags == []
+
+
+# -- database ----------------------------------------------------------------
+
+
+def test_tpch_query_mix():
+    queries = tpch_queries()
+    assert len(queries) == 22
+    q18 = query18()
+    assert q18.number == 18
+    assert q18.rounds == max(q.rounds for q in queries)
+    assert q18.name == "Q18"
+
+
+def test_tpch_scale():
+    assert query18(0.5).rounds == 10
+
+
+def test_database_validation():
+    with pytest.raises(ValueError):
+        Database(containers=())
+    with pytest.raises(ValueError):
+        Database(containers=(4, 0))
+
+
+def test_database_runs_queries_and_measures_latency():
+    system = System(
+        single_node(4), SchedFeatures().without_autogroup(), seed=5
+    )
+    db = Database(containers=(2, 2), seed=5, think_time_us=500)
+    db.bind(system)
+    workers = [
+        system.spawn(s, parent_cpu=i % 4)
+        for i, s in enumerate(db.worker_specs())
+    ]
+    driver = system.spawn(db.driver_spec(tpch_queries(0.2)[:3]))
+    assert system.run_until_done([driver], 30 * SEC)
+    assert len(db.results) == 3
+    assert all(isinstance(r, QueryResult) for r in db.results)
+    assert all(r.latency_us > 0 for r in db.results)
+    # Workers shut down after the last query.
+    system.run_for(10 * MS)
+    assert all(not w.alive for w in workers)
+
+
+def test_database_driver_requires_bind():
+    system = System(single_node(2), seed=1)
+    db = Database(containers=(2,))
+    with pytest.raises(RuntimeError):
+        system.spawn(db.driver_spec([query18(0.1)]))
+
+
+def test_database_containers_have_distinct_cgroups():
+    db = Database(containers=(3, 2))
+    specs = db.worker_specs()
+    assert len(specs) == 5
+    groups = {s.cgroup for s in specs}
+    assert groups == {"db-container-0", "db-container-1"}
+
+
+# -- transients --------------------------------------------------------------
+
+
+def test_transient_spec_short_lived():
+    system = System(single_node(2), seed=1)
+    task = system.spawn(transient_spec("k", 500), on_cpu=0)
+    system.run_for(5 * MS)
+    assert not task.alive
+    assert task.stats.total_runtime_us == 500
+
+
+def test_transient_load_spawns_at_rate():
+    system = System(single_node(2), seed=1)
+    load = TransientLoad(rate_per_sec=500, duration_us=200, seed=9)
+    load.attach(system)
+    system.run_for(1 * SEC)
+    # Poisson-ish: expect about 500, allow wide slack.
+    assert 300 < load.spawned_count < 700
+
+
+def test_transient_load_detach():
+    system = System(single_node(2), seed=1)
+    load = TransientLoad(rate_per_sec=1000, seed=9)
+    load.attach(system)
+    with pytest.raises(RuntimeError):
+        load.attach(system)
+    system.run_for(50 * MS)
+    load.detach()
+    seen = load.spawned_count
+    system.run_for(50 * MS)
+    assert load.spawned_count == seen
+
+
+def test_transient_rate_validation():
+    with pytest.raises(ValueError):
+        TransientLoad(rate_per_sec=-1)
