@@ -24,6 +24,7 @@ from repro.core.bugs import BUGS, Bug
 from repro.core.invariant import Violation, find_violations
 from repro.core.offline import find_trace_violations, load_trace, save_trace
 from repro.core.sanity_checker import BugReport, SanityChecker
+from repro.obs import MetricsRegistry, ObsSession
 from repro.sched.features import ALL_FIXED, MAINLINE, SchedFeatures
 from repro.sched.task import Task, TaskState
 from repro.sim.system import System
@@ -53,6 +54,8 @@ __all__ = [
     "MAINLINE",
     "MS",
     "MachineTopology",
+    "MetricsRegistry",
+    "ObsSession",
     "SEC",
     "SanityChecker",
     "SchedFeatures",

@@ -13,6 +13,9 @@
     python -m repro overhead [--threads 512]
     python -m repro demo <group-imbalance|group-construction|
                           overload-on-wakeup|missing-domains>
+    python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
+    python -m repro metrics <bug> [--variant buggy|fixed]
+    python -m repro --version
 """
 
 from __future__ import annotations
@@ -53,7 +56,10 @@ def _cmd_topology(args) -> int:
 def _cmd_table1(args) -> int:
     from repro.experiments.table1 import format_table1, run_table1
 
-    rows = run_table1(scale=args.scale, apps=args.apps or None)
+    rows = run_table1(
+        scale=args.scale, apps=args.apps or None,
+        obs=getattr(args, "obs", False),
+    )
     print(format_table1(rows))
     return 0
 
@@ -108,87 +114,73 @@ def _cmd_overhead(args) -> int:
 
 def _cmd_demo(args) -> int:
     """Run one bug's minimal scenario live, with the sanity checker on."""
-    from repro.core.sanity_checker import SanityChecker
-    from repro.sched.features import SchedFeatures
-    from repro.sim.system import System
-    from repro.sim.timebase import MS, SEC
-    from repro.stats.metrics import IdleOverloadSampler, node_busy_times
-    from repro.topology import amd_bulldozer_64, two_nodes
-    from repro.workloads.base import Run, Sleep, TaskSpec
+    from repro.experiments.scenarios import build_bug_scenario
+    from repro.stats.metrics import node_busy_times
 
-    def hog(name, allowed=None):
-        def factory():
-            def program():
-                while True:
-                    yield Run(5 * MS)
-            return program()
-        return TaskSpec(name, factory, allowed_cpus=allowed)
-
-    bug = args.bug
-    fixes = {
-        "group-imbalance": "group_imbalance",
-        "group-construction": "group_construction",
-        "overload-on-wakeup": "overload_on_wakeup",
-        "missing-domains": "missing_domains",
-    }[bug]
     for variant in ("buggy", "fixed"):
-        features = SchedFeatures()
-        if bug != "group-imbalance":
-            features = features.without_autogroup()
-        if variant == "fixed":
-            features = features.with_fixes(fixes)
-        if bug in ("group-construction",):
-            topo = amd_bulldozer_64()
-        else:
-            topo = two_nodes(cores_per_node=4)
-        system = System(topo, features, seed=42)
-        checker = SanityChecker(check_interval_us=100 * MS,
-                                monitor_window_us=50 * MS)
-        checker.attach(system)
-        sampler = IdleOverloadSampler()
-        sampler.attach(system)
-
-        if bug == "missing-domains":
-            system.hotplug_cpu(2, False)
-            system.hotplug_cpu(2, True)
-            for i in range(8):
-                system.spawn(hog(f"t{i}"), parent_cpu=0)
-        elif bug == "group-construction":
-            allowed = topo.cpus_of_nodes([1, 2])
-            for i in range(16):
-                system.spawn(hog(f"t{i}", allowed), parent_cpu=8)
-        elif bug == "group-imbalance":
-            from repro.workloads.cpubound import r_process
-            system.spawn(r_process("R1", tty="tty-r"), on_cpu=4)
-            for i in range(16):
-                system.spawn(hog(f"mk{i}"), parent_cpu=1)
-                system.scheduler.cgroups.attach(
-                    system.spawned[-1],
-                    system.scheduler.cgroups.autogroup_for_tty("tty-make"),
-                )
-        else:  # overload-on-wakeup
-            for i in range(4):
-                system.spawn(hog(f"hog{i}", frozenset({i})), on_cpu=i)
-
-            def sleepy_factory():
-                def program():
-                    for _ in range(400):
-                        yield Run(1 * MS)
-                        yield Sleep(1 * MS)
-                return program()
-
-            system.spawn(TaskSpec("sleepy", sleepy_factory), on_cpu=0)
-
-        system.run_for(1 * SEC)
-        print(f"--- {bug} [{variant}]")
+        scenario = build_bug_scenario(args.bug, variant)
+        scenario.run()
+        system = scenario.system
+        print(f"--- {scenario.bug} [{variant}]")
         print(f"  {system.scheduler.features.describe()}")
         busy = node_busy_times(system)
         print(f"  node busy core-seconds: "
               f"{ {n: round(v / 1e6, 2) for n, v in busy.items()} }")
         print(f"  idle-while-overloaded fraction: "
-              f"{sampler.violation_fraction:.1%}")
-        print(f"  {checker.summary()}")
+              f"{scenario.sampler.violation_fraction:.1%}")
+        print(f"  {scenario.checker.summary()}")
         print()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Capture one bug scenario as a Chrome trace-event / Perfetto file."""
+    from repro.experiments.scenarios import build_bug_scenario
+    from repro.obs import ObsSession
+
+    holder = {}
+
+    def instrument(system):
+        holder["obs"] = ObsSession.attach_to(system, trace=True)
+
+    scenario = build_bug_scenario(args.bug, args.variant, instrument=instrument)
+    obs = holder["obs"]
+    try:
+        scenario.run(args.duration_us)
+    finally:
+        obs.close()
+    events = obs.write_chrome_trace(args.out)
+    print(
+        f"{scenario.bug} [{args.variant}]: {events} trace events "
+        f"({scenario.system.now / 1e6:.2f}s simulated) -> {args.out}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    print(f"  {scenario.checker.summary()}")
+    print(f"  {obs.recorder.latency_line()}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run one bug scenario and print its metrics table."""
+    from repro.experiments.scenarios import build_bug_scenario
+    from repro.obs import ObsSession
+
+    holder = {}
+
+    def instrument(system):
+        holder["obs"] = ObsSession.attach_to(system, trace=False)
+
+    scenario = build_bug_scenario(args.bug, args.variant, instrument=instrument)
+    obs = holder["obs"]
+    try:
+        scenario.run(args.duration_us)
+    finally:
+        obs.close()
+    print(f"--- {scenario.bug} [{args.variant}] "
+          f"({scenario.system.now / 1e6:.2f}s simulated)")
+    print(obs.snapshot().render())
+    print(f"  {scenario.checker.summary()}")
+    print(f"  {obs.recorder.latency_line()}")
     return 0
 
 
@@ -271,6 +263,28 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _version() -> str:
+    """Package version, from installed metadata when available."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def _bug_name(value: str) -> str:
+    """argparse type: normalize/validate a bug name (either spelling)."""
+    from repro.experiments.scenarios import canonical_bug_name
+
+    try:
+        return canonical_bug_name(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -279,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce 'The Linux Scheduler: a Decade of Wasted Cores' "
             "(EuroSys 2016)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -297,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=default_scale)
         if has_apps:
             p.add_argument("--apps", nargs="*", default=None)
+        if name == "table1":
+            p.add_argument(
+                "--obs", action="store_true",
+                help="attach the obs registry and report wakeup-to-run "
+                "latency percentiles",
+            )
         p.set_defaults(func=func)
 
     p = sub.add_parser("table2", help="reproduce table 2 (TPC-H)")
@@ -330,14 +353,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("demo", help="run one bug's live demo")
-    p.add_argument(
-        "bug",
-        choices=[
-            "group-imbalance", "group-construction",
-            "overload-on-wakeup", "missing-domains",
-        ],
-    )
+    p.add_argument("bug", type=_bug_name, metavar="bug")
     p.set_defaults(func=_cmd_demo)
+
+    for name, func, help_text in (
+        ("trace", _cmd_trace,
+         "capture one bug scenario as a Perfetto/Chrome trace"),
+        ("metrics", _cmd_metrics,
+         "run one bug scenario and print its metrics table"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("bug", type=_bug_name, metavar="bug")
+        p.add_argument(
+            "--variant", choices=["buggy", "fixed"], default="buggy"
+        )
+        p.add_argument(
+            "--duration-us", type=int, default=None,
+            help="simulated time to run (default: the scenario's 1s)",
+        )
+        if name == "trace":
+            p.add_argument(
+                "--out", default="trace.json",
+                help="output path for the trace-event JSON",
+            )
+        p.set_defaults(func=func)
     return parser
 
 

@@ -21,6 +21,7 @@ from repro.viz.events import (
     LoadEvent,
     MigrationEvent,
     NrRunningEvent,
+    SchedSwitchEvent,
     TraceBuffer,
     WakeupEvent,
 )
@@ -33,6 +34,7 @@ _EVENT_TYPES = {
     "wakeup": WakeupEvent,
     "lifecycle": LifecycleEvent,
     "balance": BalanceEvent,
+    "switch": SchedSwitchEvent,
 }
 _TYPE_NAMES = {v: k for k, v in _EVENT_TYPES.items()}
 

@@ -11,7 +11,7 @@ failed during a violation.
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.viz.events import (
     BalanceEvent,
@@ -50,7 +50,9 @@ class BalanceProfiler(Probe):
                 )
             )
 
-    def on_considered(self, now, cpu, op, considered) -> None:
+    def on_considered(
+        self, now: int, cpu: int, op: str, considered: Iterable[int]
+    ) -> None:
         if self.active:
             self.buffer.append(
                 ConsideredEvent(now, cpu, op, frozenset(considered))

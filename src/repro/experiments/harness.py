@@ -34,16 +34,33 @@ class ExperimentConfig:
     scale: float = 1.0
     deadline_us: int = 600 * SEC
     topology_factory: Callable[[], MachineTopology] = amd_bulldozer_64
+    #: Attach an observability session to every built system, so tables
+    #: can report wakeup-to-run latency percentiles (``system.obs``).
+    obs: bool = False
 
     def with_features(self, features: SchedFeatures) -> "ExperimentConfig":
         """A copy with a different scheduler configuration."""
         return replace(self, features=features)
 
+    def with_obs(self, obs: bool = True) -> "ExperimentConfig":
+        """A copy with observability on (or off)."""
+        return replace(self, obs=obs)
+
     def build_system(self) -> System:
         """A fresh simulated machine for this configuration."""
-        return System(
+        system = System(
             self.topology_factory(), self.features, seed=self.seed
         )
+        if self.obs:
+            from repro.obs import ObsSession
+            from repro.obs.tracepoints import TracepointRegistry
+
+            # A private registry per run: concurrent experiment systems
+            # must not hear each other's scheduler events.
+            system.obs = ObsSession.attach_to(
+                system, trace=False, registry=TracepointRegistry()
+            )
+        return system
 
 
 def node_cpuset(

@@ -28,12 +28,26 @@ PINNED_NODES = (1, 2)
 
 
 @dataclass
+class NasRunResult:
+    """Completion time of one pinned NAS run, plus obs latency if on."""
+
+    seconds: float
+    wakeup_p50_us: Optional[float] = None
+    wakeup_p99_us: Optional[float] = None
+
+
+@dataclass
 class Table1Row:
     """One application's times under both configurations."""
 
     app: str
     time_with_bug_s: float
     time_without_bug_s: float
+    #: Wakeup-to-run latency percentiles, filled when ``obs`` was on.
+    bug_wakeup_p50_us: Optional[float] = None
+    bug_wakeup_p99_us: Optional[float] = None
+    fix_wakeup_p50_us: Optional[float] = None
+    fix_wakeup_p99_us: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -41,12 +55,12 @@ class Table1Row:
         return speedup(self.time_with_bug_s, self.time_without_bug_s)
 
 
-def run_nas_pinned(
+def run_nas_pinned_result(
     config: ExperimentConfig,
     app_name: str,
     nr_threads: Optional[int] = None,
-) -> float:
-    """One NAS run pinned to ``PINNED_NODES``; returns completion seconds."""
+) -> NasRunResult:
+    """One NAS run pinned to ``PINNED_NODES``, with full run statistics."""
     system = config.build_system()
     topo = system.topology
     allowed = node_cpuset(topo, PINNED_NODES)
@@ -63,9 +77,24 @@ def run_nas_pinned(
     parent = min(topo.cpus_of_node(PINNED_NODES[0]))
     tasks = [system.spawn(spec, parent_cpu=parent) for spec in app.thread_specs()]
     done = system.run_until_done(tasks, config.deadline_us)
-    if not done:
-        return config.deadline_us / SEC
-    return system.now / SEC
+    seconds = (config.deadline_us if not done else system.now) / SEC
+    result = NasRunResult(seconds)
+    if system.obs is not None:
+        system.obs.close()
+        latency = system.obs.recorder.wakeup_latency
+        if latency.count():
+            result.wakeup_p50_us = latency.percentile(50)
+            result.wakeup_p99_us = latency.percentile(99)
+    return result
+
+
+def run_nas_pinned(
+    config: ExperimentConfig,
+    app_name: str,
+    nr_threads: Optional[int] = None,
+) -> float:
+    """One NAS run pinned to ``PINNED_NODES``; returns completion seconds."""
+    return run_nas_pinned_result(config, app_name, nr_threads).seconds
 
 
 def run_table1(
@@ -73,20 +102,31 @@ def run_table1(
     apps: Optional[Sequence[str]] = None,
     seed: int = 42,
     deadline_us: int = 600 * SEC,
+    obs: bool = False,
 ) -> List[Table1Row]:
     """Both configurations for every app."""
     rows: List[Table1Row] = []
     buggy = ExperimentConfig(
         SchedFeatures().without_autogroup(),
-        seed=seed, scale=scale, deadline_us=deadline_us,
+        seed=seed, scale=scale, deadline_us=deadline_us, obs=obs,
     )
     fixed = buggy.with_features(
         SchedFeatures().with_fixes("group_construction").without_autogroup()
     )
     for app_name in apps or all_nas_names():
-        t_bug = run_nas_pinned(buggy, app_name)
-        t_fix = run_nas_pinned(fixed, app_name)
-        rows.append(Table1Row(app_name, t_bug, t_fix))
+        r_bug = run_nas_pinned_result(buggy, app_name)
+        r_fix = run_nas_pinned_result(fixed, app_name)
+        rows.append(
+            Table1Row(
+                app_name,
+                r_bug.seconds,
+                r_fix.seconds,
+                bug_wakeup_p50_us=r_bug.wakeup_p50_us,
+                bug_wakeup_p99_us=r_bug.wakeup_p99_us,
+                fix_wakeup_p50_us=r_fix.wakeup_p50_us,
+                fix_wakeup_p99_us=r_fix.wakeup_p99_us,
+            )
+        )
     return rows
 
 
@@ -98,21 +138,39 @@ PAPER_SPEEDUPS: Dict[str, float] = {
 
 
 def format_table1(rows: List[Table1Row]) -> str:
-    """Render the reproduced Table 1 with the paper's factors."""
+    """Render the reproduced Table 1 with the paper's factors.
+
+    When the rows carry obs latency (``run_table1(obs=True)``), the table
+    grows wakeup-to-run percentile columns for both variants.
+    """
+    with_latency = any(r.bug_wakeup_p99_us is not None for r in rows)
+    headers = ["app", "time w/ bug (s)", "time w/o bug (s)", "speedup (x)",
+               "paper (x)"]
+    if with_latency:
+        headers += ["bug wake p50/p99 (us)", "fix wake p50/p99 (us)"]
     table = Table(
         "Table 1: NAS with the Scheduling Group Construction bug "
         "(numactl --cpunodebind=1,2)",
-        ["app", "time w/ bug (s)", "time w/o bug (s)", "speedup (x)",
-         "paper (x)"],
+        headers,
     )
+
+    def pair(p50, p99):
+        if p99 is None:
+            return "-"
+        return f"{p50:.0f}/{p99:.0f}"
+
     for row in rows:
-        table.add_row(
+        cells = [
             row.app,
             f"{row.time_with_bug_s:.3f}",
             f"{row.time_without_bug_s:.3f}",
             f"{row.speedup:.2f}",
             f"{PAPER_SPEEDUPS.get(row.app, float('nan')):.2f}",
-        )
+        ]
+        if with_latency:
+            cells.append(pair(row.bug_wakeup_p50_us, row.bug_wakeup_p99_us))
+            cells.append(pair(row.fix_wakeup_p50_us, row.fix_wakeup_p99_us))
+        table.add_row(*cells)
     table.add_note(
         "absolute times are simulator-scaled; the reproduction target is "
         "the speedup column's shape (all > 1, lu extreme)"

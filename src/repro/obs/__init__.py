@@ -1,0 +1,55 @@
+"""Unified observability: tracepoints, metrics, and trace export.
+
+The paper's diagnosis chapter is an argument that the bugs stayed
+invisible for years because the standard tools (``htop``, ``sar``,
+``perf``) aggregate away short-lived invariant violations.  This package
+is the repo's answer -- one bus, three consumers:
+
+* :mod:`repro.obs.tracepoints` -- named tracepoints with a kernel-style
+  ``enabled`` fast path (one branch when nobody listens);
+* :mod:`repro.obs.metrics` -- counters, gauges, and log-bucketed
+  histograms (wakeup-to-run latency, idle-gap lengths, migrations by
+  reason, balance outcomes by domain);
+* :mod:`repro.obs.trace_export` -- Chrome trace-event / Perfetto JSON
+  with per-CPU tracks, migration flow arrows, and sanity-checker
+  violation instants;
+* :mod:`repro.obs.session` -- :class:`ObsSession`, the one-call wiring
+  of all of the above onto a simulated system.
+"""
+
+from repro.obs.bridge import SCHED_TRACEPOINTS, ProbeTracepointBridge
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.recorder import MetricsRecorder
+from repro.obs.session import ObsSession
+from repro.obs.trace_export import ChromeTraceBuilder
+from repro.obs.tracepoints import (
+    TRACEPOINTS,
+    Span,
+    Tracepoint,
+    TracepointRegistry,
+    span,
+)
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsSession",
+    "ProbeTracepointBridge",
+    "SCHED_TRACEPOINTS",
+    "Span",
+    "TRACEPOINTS",
+    "Tracepoint",
+    "TracepointRegistry",
+    "span",
+]

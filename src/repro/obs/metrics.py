@@ -1,0 +1,310 @@
+"""Metrics primitives: counters, gauges, log-bucketed histograms.
+
+Standard tools aggregate scheduler behavior into averages -- exactly how
+the paper's bugs stayed invisible (``htop``/``sar`` smooth over short idle
+periods).  These metrics keep the distributions: every histogram is
+log-bucketed (powers of two, microsecond resolution), so a 4 ms
+wakeup-to-run stall stays visible next to a million 10 us ones.
+
+Every metric accepts labels (``counter.inc(reason="balance:NUMA")``); a
+(metric, label-set) pair is one independent series, which is how per-cpu
+and per-domain breakdowns are stored.  :class:`MetricsRegistry` is the
+create-or-get namespace; :meth:`MetricsRegistry.snapshot` freezes the
+registry into a :class:`MetricsSnapshot` whose :meth:`~MetricsSnapshot.render`
+prints the plain-text table the ``repro metrics`` subcommand shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.timebase import format_time
+
+#: A frozen label set: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Histograms hold one bucket per power of two; 64 covers any int64 value.
+_NUM_BUCKETS = 64
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    return ", ".join(f"{k}={v}" for k, v in key)
+
+
+class Metric:
+    """Common naming/labeling behavior of every metric kind."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def label_keys(self) -> List[LabelKey]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count, one per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._series.values())
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+
+class Gauge(Metric):
+    """A point-in-time value, one per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+
+@dataclass
+class _HistogramSeries:
+    """Bucket counts plus exact count/sum/min/max for one label set."""
+
+    buckets: List[int] = field(
+        default_factory=lambda: [0] * _NUM_BUCKETS
+    )
+    count: int = 0
+    sum: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+
+def _bucket_index(value: float) -> int:
+    """Bucket ``i`` covers ``[2**(i-1), 2**i)``; bucket 0 is ``[0, 1)``."""
+    v = int(value)
+    if v <= 0:
+        return 0
+    return min(v.bit_length(), _NUM_BUCKETS - 1)
+
+
+class Histogram(Metric):
+    """A log-bucketed latency/duration histogram (microsecond units).
+
+    The bucket layout is the paper-friendly one: short and long events
+    land in different buckets no matter how lopsided the mix, so tail
+    percentiles survive aggregation.  ``percentile`` answers from the
+    buckets (upper-edge estimate, exact min/max clamped).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", unit: str = "us"):
+        super().__init__(name, help)
+        self.unit = unit
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name} got negative value {value}"
+            )
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        series.buckets[_bucket_index(value)] += 1
+        series.count += 1
+        series.sum += value
+        series.min = value if series.min is None else min(series.min, value)
+        series.max = value if series.max is None else max(series.max, value)
+
+    # -- queries ------------------------------------------------------------
+
+    def _merged(self, labels: Dict[str, object]) -> _HistogramSeries:
+        """All series, or only those matching every given label."""
+        wanted = _label_key(labels)
+        merged = _HistogramSeries()
+        for key, series in self._series.items():
+            if wanted and not set(wanted).issubset(set(key)):
+                continue
+            merged.count += series.count
+            merged.sum += series.sum
+            for i, n in enumerate(series.buckets):
+                merged.buckets[i] += n
+            if series.min is not None:
+                merged.min = series.min if merged.min is None \
+                    else min(merged.min, series.min)
+            if series.max is not None:
+                merged.max = series.max if merged.max is None \
+                    else max(merged.max, series.max)
+        return merged
+
+    def count(self, **labels: object) -> int:
+        return self._merged(labels).count
+
+    def mean(self, **labels: object) -> float:
+        series = self._merged(labels)
+        return series.sum / series.count if series.count else 0.0
+
+    def percentile(self, p: float, **labels: object) -> float:
+        """Estimated value at percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        series = self._merged(labels)
+        if series.count == 0:
+            return 0.0
+        rank = p / 100.0 * series.count
+        seen = 0
+        for i, n in enumerate(series.buckets):
+            seen += n
+            if seen >= rank and n:
+                # Upper-edge estimate, clamped to the observed range.
+                upper = float((1 << i) - 1) if i else 0.0
+                lo = series.min if series.min is not None else 0.0
+                hi = series.max if series.max is not None else upper
+                return min(max(upper, lo), hi)
+        return series.max if series.max is not None else 0.0
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._series)
+
+
+class MetricsRegistry:
+    """Create-or-get namespace for every metric of one run."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, *args, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", unit: str = "us"
+    ) -> Histogram:
+        return self._get(name, Histogram, help, unit)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        return MetricsSnapshot(self)
+
+
+class MetricsSnapshot:
+    """A renderable view of a registry (the ``repro metrics`` table)."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def render(self) -> str:
+        """Plain-text table: one line per series, histograms summarized."""
+        lines: List[str] = []
+        for name in self.registry.names():
+            metric = self.registry._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.extend(self._render_histogram(metric))
+            elif isinstance(metric, (Counter, Gauge)):
+                lines.extend(self._render_scalar(metric))
+        if not lines:
+            return "no metrics recorded"
+        width = max(
+            (len(line[0]) for line in lines if isinstance(line, tuple)),
+            default=0,
+        )
+        rendered: List[str] = []
+        for line in lines:
+            if isinstance(line, tuple):
+                rendered.append(f"  {line[0]:<{width}}  {line[1]}")
+            else:
+                rendered.append(line)
+        return "\n".join(rendered)
+
+    def _render_scalar(self, metric: Metric) -> List[object]:
+        out: List[object] = [f"{metric.kind} {metric.name}"]
+        series = metric._series  # type: ignore[attr-defined]
+        for key in metric.label_keys():
+            label = _format_labels(key) or "(no labels)"
+            value = series[key]
+            text = f"{value:g}"
+            out.append((label, text))
+        if not series:
+            out.append(("(no labels)", "0"))
+        return out
+
+    def _render_histogram(self, metric: Histogram) -> List[object]:
+        merged = metric._merged({})
+        out: List[object] = [
+            f"histogram {metric.name} ({metric.unit}): "
+            f"count={merged.count}"
+        ]
+        if merged.count == 0:
+            return out
+        fmt = format_time if metric.unit == "us" else lambda v: f"{v:g}"
+        out[0] = (
+            f"histogram {metric.name} ({metric.unit}): "
+            f"count={merged.count} mean={fmt(int(metric.mean()))} "
+            f"p50={fmt(int(metric.percentile(50)))} "
+            f"p95={fmt(int(metric.percentile(95)))} "
+            f"p99={fmt(int(metric.percentile(99)))} "
+            f"max={fmt(int(merged.max or 0))}"
+        )
+        for key in metric.label_keys():
+            label = _format_labels(key)
+            if not label:
+                continue
+            out.append(
+                (
+                    label,
+                    f"count={metric._series[key].count}",
+                )
+            )
+        return out

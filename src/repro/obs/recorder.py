@@ -1,0 +1,198 @@
+"""Tracepoint consumer that folds the event stream into metrics.
+
+The recorder subscribes to the obs bus and maintains exactly the numbers
+the paper says standard tools throw away:
+
+* ``sched_wakeup_to_run_latency_us`` -- histogram of the gap between a
+  task's wakeup and its next switch-in, labeled by the CPU it ran on.
+  Overload-on-Wakeup is *this* distribution growing a tail while idle
+  cores exist.
+* ``sched_idle_gap_us`` -- histogram of per-CPU idle-period lengths, the
+  short gaps ``htop``-style sampling averages away.
+* ``sched_migrations_total`` by reason, ``sched_balance_total`` by
+  (domain, outcome), ``sched_wakeups_total`` by idle/busy landing.
+* ``checker_*_total`` -- the sanity checker's detection funnel (checks,
+  violations seen, transients, confirmed bugs).
+* ``engine_callbacks_total`` by event-loop label class, attributing heap
+  callbacks (``tick``, ``phase-end``, ``wake``) in one counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
+
+#: Tracepoint patterns the recorder listens to.
+_SUBSCRIPTIONS = (
+    "sched.*",
+    "checker.*",
+    "engine.callback",
+    "stats.violation_tick",
+)
+
+
+def _label_class(label: str) -> str:
+    """Collapse per-task labels (``phase-end:17``) to their class."""
+    if not label:
+        return "unlabeled"
+    return label.split(":", 1)[0]
+
+
+class MetricsRecorder:
+    """Subscribes to the tracepoint bus and updates a metrics registry."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._registry: Optional[TracepointRegistry] = None
+        #: Pending wakeups by tid: wakeup time, waiting for switch-in.
+        self._wakeup_pending: Dict[int, int] = {}
+        #: Per-CPU timestamp the runqueue last went empty; None while busy.
+        self._idle_since: Dict[int, int] = {}
+
+        m = self.metrics
+        self._wakeup_latency = m.histogram(
+            "sched_wakeup_to_run_latency_us",
+            "gap between a task's wakeup and its next switch-in",
+        )
+        self._idle_gap = m.histogram(
+            "sched_idle_gap_us", "per-CPU idle-period lengths"
+        )
+        self._migrations = m.counter(
+            "sched_migrations_total", "task migrations by reason"
+        )
+        self._wakeups = m.counter(
+            "sched_wakeups_total", "wakeups by idle/busy landing core"
+        )
+        self._switches = m.counter(
+            "sched_switches_total", "switch-ins per CPU"
+        )
+        self._balance = m.counter(
+            "sched_balance_total", "balancing attempts by domain and outcome"
+        )
+        self._considered = m.counter(
+            "sched_considered_total", "considered-core reports by operation"
+        )
+        self._forks = m.counter("sched_forks_total", "task forks")
+        self._exits = m.counter("sched_exits_total", "task exits")
+        self._checker = m.counter(
+            "checker_events_total", "sanity-checker state transitions"
+        )
+        self._engine = m.counter(
+            "engine_callbacks_total", "event-loop callbacks by label class"
+        )
+        self._sampler = m.counter(
+            "stats_violation_ticks_total",
+            "ticks the idle-overload sampler saw a violation",
+        )
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, registry: Optional[TracepointRegistry] = None) -> None:
+        """Subscribe to the bus (``TRACEPOINTS`` by default)."""
+        if self._registry is not None:
+            raise RuntimeError("recorder is already attached")
+        reg = registry if registry is not None else TRACEPOINTS
+        self._registry = reg
+        for pattern in _SUBSCRIPTIONS:
+            reg.subscribe(pattern, self._on_event)
+
+    def detach(self) -> None:
+        if self._registry is None:
+            return
+        for pattern in _SUBSCRIPTIONS:
+            self._registry.unsubscribe(pattern, self._on_event)
+        self._registry = None
+
+    # -- event handling ------------------------------------------------------
+
+    def _on_event(
+        self, name: str, now: int, fields: Mapping[str, object]
+    ) -> None:
+        handler = self._HANDLERS.get(name)
+        if handler is not None:
+            handler(self, now, fields)
+        elif name.startswith("checker."):
+            self._checker.inc(event=name.split(".", 1)[1])
+
+    def _on_wakeup(self, now: int, fields: Mapping[str, object]) -> None:
+        tid = fields["tid"]
+        self._wakeup_pending[tid] = now  # type: ignore[index]
+        self._wakeups.inc(
+            landing="idle_core" if fields["was_idle"] else "busy_core"
+        )
+
+    def _on_switch(self, now: int, fields: Mapping[str, object]) -> None:
+        next_tid = fields["next_tid"]
+        cpu = fields["cpu"]
+        if next_tid is not None:
+            self._switches.inc(cpu=cpu)
+            woken_at = self._wakeup_pending.pop(next_tid, None)  # type: ignore[arg-type]
+            if woken_at is not None:
+                self._wakeup_latency.observe(now - woken_at, cpu=cpu)
+
+    def _on_nr_running(self, now: int, fields: Mapping[str, object]) -> None:
+        cpu = fields["cpu"]
+        if fields["nr_running"] == 0:
+            self._idle_since.setdefault(cpu, now)  # type: ignore[arg-type]
+        else:
+            since = self._idle_since.pop(cpu, None)  # type: ignore[arg-type]
+            if since is not None and now > since:
+                self._idle_gap.observe(now - since, cpu=cpu)
+
+    def _on_migration(self, now: int, fields: Mapping[str, object]) -> None:
+        self._migrations.inc(reason=fields["reason"])
+
+    def _on_balance(self, now: int, fields: Mapping[str, object]) -> None:
+        outcome = str(fields["outcome"]).split(":", 1)[0]
+        self._balance.inc(domain=fields["domain"], outcome=outcome)
+
+    def _on_considered(self, now: int, fields: Mapping[str, object]) -> None:
+        self._considered.inc(op=fields["op"])
+
+    def _on_lifecycle(self, now: int, fields: Mapping[str, object]) -> None:
+        if fields["kind"] == "fork":
+            self._forks.inc()
+            # A fork is also a placement: its first switch-in closes a
+            # wakeup-to-run sample, like the kernel's sched_wakeup_new.
+            self._wakeup_pending[fields["tid"]] = now  # type: ignore[index]
+        elif fields["kind"] == "exit":
+            self._exits.inc()
+            self._wakeup_pending.pop(fields["tid"], None)  # type: ignore[arg-type]
+
+    def _on_engine(self, now: int, fields: Mapping[str, object]) -> None:
+        self._engine.inc(label=_label_class(str(fields.get("label", ""))))
+
+    def _on_sampler(self, now: int, fields: Mapping[str, object]) -> None:
+        self._sampler.inc()
+
+    _HANDLERS = {
+        "sched.wakeup": _on_wakeup,
+        "sched.switch": _on_switch,
+        "sched.nr_running": _on_nr_running,
+        "sched.migration": _on_migration,
+        "sched.balance": _on_balance,
+        "sched.considered": _on_considered,
+        "sched.lifecycle": _on_lifecycle,
+        "engine.callback": _on_engine,
+        "stats.violation_tick": _on_sampler,
+    }
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def wakeup_latency(self):
+        """The wakeup-to-run latency histogram (acceptance metric)."""
+        return self._wakeup_latency
+
+    def latency_line(self) -> str:
+        """One-line percentile summary for experiment tables."""
+        h = self._wakeup_latency
+        if h.count() == 0:
+            return "wakeup-to-run latency: no samples"
+        return (
+            f"wakeup-to-run latency: n={h.count()} "
+            f"p50={h.percentile(50):.0f}us p95={h.percentile(95):.0f}us "
+            f"p99={h.percentile(99):.0f}us"
+        )

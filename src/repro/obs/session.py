@@ -1,0 +1,101 @@
+"""One-call wiring of the obs subsystem onto a simulated system.
+
+:class:`ObsSession` owns the three moving parts -- the probe-to-tracepoint
+bridge, the metrics recorder, and (optionally) the Chrome trace builder --
+and attaches/detaches them as a unit:
+
+.. code-block:: python
+
+    obs = ObsSession.attach_to(system, trace=True)
+    try:
+        ...  # run the experiment
+    finally:
+        obs.close()
+    obs.write_chrome_trace("trace.json")
+    print(obs.metrics.snapshot().render())
+
+Sessions are observation-only: attaching one must not perturb the
+schedule (``tests/test_obs_overhead.py`` asserts identical migration
+counts with and without a session).  Like kernel tracepoints, the bus is
+global by default (``TRACEPOINTS``) -- that is how the session also hears
+the event loop, the sanity checker and the stats sampler, which emit
+directly rather than through the scheduler's probe.  :meth:`close` always
+unsubscribes, so sequential sessions never cross-talk; pass a private
+:class:`~repro.obs.tracepoints.TracepointRegistry` for full isolation
+when scheduler-probe events are all you need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.bridge import ProbeTracepointBridge
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.recorder import MetricsRecorder
+from repro.obs.trace_export import ChromeTraceBuilder
+from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
+
+
+class ObsSession:
+    """Bundles bridge + recorder (+ trace builder) for one observed run."""
+
+    def __init__(
+        self,
+        num_cpus: int,
+        trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        registry: Optional[TracepointRegistry] = None,
+        max_trace_events: int = 2_000_000,
+    ):
+        self.registry = registry if registry is not None else TRACEPOINTS
+        self.bridge = ProbeTracepointBridge(self.registry)
+        self.recorder = MetricsRecorder(metrics)
+        self.recorder.attach(self.registry)
+        self.trace_builder: Optional[ChromeTraceBuilder] = None
+        if trace:
+            self.trace_builder = ChromeTraceBuilder(
+                num_cpus, max_events=max_trace_events
+            )
+            self.trace_builder.attach(self.registry)
+        self._system = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.recorder.metrics
+
+    # -- wiring --------------------------------------------------------------
+
+    @classmethod
+    def attach_to(cls, system, trace: bool = False, **kwargs) -> "ObsSession":
+        """Create a session and plug it into a system's probe fanout."""
+        session = cls(system.topology.num_cpus, trace=trace, **kwargs)
+        system.attach_probe(session.bridge)
+        session._system = system
+        return session
+
+    def close(self) -> None:
+        """Detach everything; idempotent.  Call before reading results."""
+        if self._system is not None:
+            end = self._system.now
+            self._system.detach_probe(self.bridge)
+            self._system = None
+            if self.trace_builder is not None:
+                self.trace_builder.finish(end)
+        self.recorder.detach()
+        if self.trace_builder is not None:
+            self.trace_builder.detach()
+
+    # -- results -------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the collected trace; returns the number of events."""
+        if self.trace_builder is None:
+            raise RuntimeError(
+                "session was created without trace=True; nothing to write"
+            )
+        if self._system is not None:
+            self.trace_builder.finish(self._system.now)
+        return self.trace_builder.write(path)

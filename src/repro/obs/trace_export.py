@@ -1,0 +1,286 @@
+"""Chrome trace-event / Perfetto JSON export of one simulated run.
+
+The paper's second tool is a scheduling visualizer because "the tools we
+used without success include htop, sar and perf" -- only a timeline makes
+short idle periods and misplaced wakeups visible.  This module renders a
+run in the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+
+* one **process track per CPU** ("cpu 0" ... "cpu N-1") carrying the
+  running-task slices reconstructed from ``sched.switch`` events and a
+  ``nr_running`` counter track (the runqueue depth over time);
+* **migrations as flow arrows** (``s``/``f`` pairs) from source to
+  destination CPU, named by reason;
+* **wakeups** as thread-scoped instant events on the landing CPU;
+* **sanity-checker detections/confirmations** and the idle-overload
+  sampler's violating ticks as instant events on a dedicated
+  "sanity-checker" track -- the violation markers to read against the
+  runqueue tracks;
+* **event-loop callbacks** as instants on an "engine" track, labeled with
+  each heap callback's ``label`` so simulator activity is attributable;
+* **obs spans** (``obs.span`` begin/end) as slices on the engine track.
+
+Timestamps are simulator microseconds, which is exactly the unit the
+trace-event format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
+
+#: Synthetic pids for the non-CPU tracks (CPU n uses pid n).
+ENGINE_PID = 100_000
+CHECKER_PID = 100_001
+
+_SUBSCRIPTIONS = (
+    "sched.switch",
+    "sched.migration",
+    "sched.wakeup",
+    "sched.nr_running",
+    "checker.*",
+    "stats.violation_tick",
+    "engine.callback",
+    "obs.*",
+)
+
+
+class ChromeTraceBuilder:
+    """Collects tracepoint events and renders trace-event JSON."""
+
+    def __init__(
+        self,
+        num_cpus: int,
+        include_engine: bool = True,
+        include_counters: bool = True,
+        max_events: int = 2_000_000,
+    ):
+        self.num_cpus = num_cpus
+        self.include_engine = include_engine
+        self.include_counters = include_counters
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[Dict[str, object]] = []
+        self._registry: Optional[TracepointRegistry] = None
+        #: Open running-task slice per CPU: (start_us, tid, name).
+        self._open_slices: Dict[int, tuple] = {}
+        #: Open obs spans keyed by span name: start time.
+        self._open_spans: Dict[str, int] = {}
+        self._flow_id = 0
+        self._emit_metadata()
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, registry: Optional[TracepointRegistry] = None) -> None:
+        if self._registry is not None:
+            raise RuntimeError("trace builder is already attached")
+        reg = registry if registry is not None else TRACEPOINTS
+        self._registry = reg
+        for pattern in _SUBSCRIPTIONS:
+            reg.subscribe(pattern, self._on_event)
+
+    def detach(self) -> None:
+        if self._registry is None:
+            return
+        for pattern in _SUBSCRIPTIONS:
+            self._registry.unsubscribe(pattern, self._on_event)
+        self._registry = None
+
+    # -- event intake --------------------------------------------------------
+
+    def _add(self, event: Dict[str, object]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def _emit_metadata(self) -> None:
+        for cpu in range(self.num_cpus):
+            self._add(
+                {
+                    "ph": "M", "pid": cpu, "name": "process_name",
+                    "args": {"name": f"cpu {cpu}"},
+                }
+            )
+            self._add(
+                {
+                    "ph": "M", "pid": cpu, "name": "process_sort_index",
+                    "args": {"sort_index": cpu},
+                }
+            )
+        for pid, name in (
+            (CHECKER_PID, "sanity-checker"),
+            (ENGINE_PID, "engine"),
+        ):
+            self._add(
+                {
+                    "ph": "M", "pid": pid, "name": "process_name",
+                    "args": {"name": name},
+                }
+            )
+            self._add(
+                {
+                    "ph": "M", "pid": pid, "name": "process_sort_index",
+                    "args": {"sort_index": pid},
+                }
+            )
+
+    def _on_event(
+        self, name: str, now: int, fields: Mapping[str, object]
+    ) -> None:
+        if name == "sched.switch":
+            self._on_switch(now, fields)
+        elif name == "sched.migration":
+            self._on_migration(now, fields)
+        elif name == "sched.wakeup":
+            self._on_wakeup(now, fields)
+        elif name == "sched.nr_running":
+            if self.include_counters:
+                self._add(
+                    {
+                        "ph": "C", "pid": fields["cpu"], "tid": 0,
+                        "ts": now, "name": "nr_running",
+                        "args": {"nr": fields["nr_running"]},
+                    }
+                )
+        elif name == "stats.violation_tick":
+            self._add(
+                {
+                    "ph": "i", "s": "t", "pid": CHECKER_PID, "tid": 0,
+                    "ts": now, "name": "idle-while-overloaded tick",
+                    "cat": "sampler",
+                }
+            )
+        elif name.startswith("checker."):
+            self._on_checker(name, now, fields)
+        elif name == "engine.callback":
+            if self.include_engine:
+                label = str(fields.get("label", "")) or "callback"
+                self._add(
+                    {
+                        "ph": "i", "s": "t", "pid": ENGINE_PID, "tid": 0,
+                        "ts": now, "name": label, "cat": "engine",
+                    }
+                )
+        elif name.startswith("obs."):
+            self._on_span(name, now, fields)
+
+    def _on_switch(self, now: int, fields: Mapping[str, object]) -> None:
+        cpu = int(fields["cpu"])  # type: ignore[arg-type]
+        next_tid = fields["next_tid"]
+        self._close_slice(cpu, now)
+        if next_tid is not None:
+            name = str(fields.get("next_name", "")) or f"tid {next_tid}"
+            self._open_slices[cpu] = (now, next_tid, name)
+
+    def _close_slice(self, cpu: int, now: int) -> None:
+        opened = self._open_slices.pop(cpu, None)
+        if opened is None:
+            return
+        start, tid, name = opened
+        self._add(
+            {
+                "ph": "X", "pid": cpu, "tid": 0, "ts": start,
+                "dur": max(now - start, 1), "name": name, "cat": "task",
+                "args": {"tid": tid},
+            }
+        )
+
+    def _on_migration(self, now: int, fields: Mapping[str, object]) -> None:
+        self._flow_id += 1
+        name = f"migrate:{fields['reason']}"
+        common = {
+            "name": name, "cat": "migration", "id": self._flow_id, "tid": 0,
+            "args": {"tid": fields["tid"], "reason": fields["reason"]},
+        }
+        self._add({"ph": "s", "pid": fields["src_cpu"], "ts": now, **common})
+        self._add(
+            {
+                "ph": "f", "bp": "e", "pid": fields["dst_cpu"],
+                "ts": now + 1, **common,
+            }
+        )
+
+    def _on_wakeup(self, now: int, fields: Mapping[str, object]) -> None:
+        landing = "idle" if fields["was_idle"] else "busy"
+        self._add(
+            {
+                "ph": "i", "s": "t", "pid": fields["cpu"], "tid": 0,
+                "ts": now, "name": f"wakeup tid {fields['tid']} ({landing})",
+                "cat": "wakeup",
+            }
+        )
+
+    def _on_checker(
+        self, name: str, now: int, fields: Mapping[str, object]
+    ) -> None:
+        kind = name.split(".", 1)[1]
+        if kind == "check":
+            return  # one instant per second adds noise, metrics count them
+        scope = "g" if kind in ("violation_detected", "bug_confirmed") else "t"
+        text = {
+            "violation_detected": "invariant violation detected",
+            "bug_confirmed": "BUG CONFIRMED (survived monitoring window)",
+            "transient": "transient violation (recovered in window)",
+            "profile_done": "post-detection profile complete",
+        }.get(kind, kind)
+        event: Dict[str, object] = {
+            "ph": "i", "s": scope, "pid": CHECKER_PID, "tid": 0,
+            "ts": now, "name": text, "cat": "checker",
+        }
+        args = {
+            k: v for k, v in fields.items()
+            if isinstance(v, (int, float, str, bool)) or v is None
+        }
+        if "pairs" in fields:
+            args["pairs"] = str(fields["pairs"])
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def _on_span(
+        self, tp_name: str, now: int, fields: Mapping[str, object]
+    ) -> None:
+        ph = fields.get("ph")
+        name = str(fields.get("name", "")) or tp_name
+        if ph == "B":
+            self._open_spans[name] = now
+        elif ph == "E":
+            start = self._open_spans.pop(name, None)
+            if start is not None:
+                self._add(
+                    {
+                        "ph": "X", "pid": ENGINE_PID, "tid": 1, "ts": start,
+                        "dur": max(now - start, 1), "name": name,
+                        "cat": "obs",
+                    }
+                )
+
+    # -- output --------------------------------------------------------------
+
+    def finish(self, end_us: int) -> None:
+        """Close still-open slices at the end of the observed run."""
+        for cpu in list(self._open_slices):
+            self._close_slice(cpu, end_us)
+
+    def to_json(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event object."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write(self, path: str, end_us: Optional[int] = None) -> int:
+        """Finish and write the trace; returns the number of events."""
+        if end_us is not None:
+            self.finish(end_us)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_json(), f)
+        return len(self._events)

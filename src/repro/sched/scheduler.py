@@ -203,6 +203,7 @@ class Scheduler:
         task.exec_start_us = now
         task.stats.wait_time_us += max(0, now - task.stats.last_enqueue_us)
         self.pending_dispatch.discard(cpu_id)
+        self.probe.on_sched_switch(now, cpu_id, None, task.tid, task.name)
         return task
 
     def account(self, cpu_id: int, now: int) -> int:
@@ -240,6 +241,7 @@ class Scheduler:
             cpu.rq.set_current(None, now)
             curr.cpu = None
         curr.exec_start_us = None
+        self.probe.on_sched_switch(now, cpu_id, curr.tid, None)
         return curr
 
     def migrate_task(

@@ -11,6 +11,13 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro.obs.tracepoints import TRACEPOINTS
+
+#: Fired once per executed callback with its ``label``, so obs traces can
+#: attribute heap activity (tick vs phase-end vs wake).  Kernel-style
+#: static tracepoint: one ``enabled`` branch when nobody listens.
+_TP_CALLBACK = TRACEPOINTS.tracepoint("engine.callback")
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
@@ -124,6 +131,8 @@ class EventLoop:
                     continue
                 self._now = event.when
                 self._events_fired += 1
+                if _TP_CALLBACK.enabled:
+                    _TP_CALLBACK.emit(self._now, label=event.label)
                 event.callback()
             self._now = deadline
         finally:
@@ -156,6 +165,8 @@ class EventLoop:
                     continue
                 self._now = event.when
                 self._events_fired += 1
+                if _TP_CALLBACK.enabled:
+                    _TP_CALLBACK.emit(self._now, label=event.label)
                 event.callback()
                 if check_interval is None or self._now >= next_check:
                     if not condition():

@@ -75,6 +75,9 @@ class System:
         self._started = False
         #: All tasks ever spawned, for completion queries.
         self.spawned: List[Task] = []
+        #: Optional :class:`repro.obs.session.ObsSession` attached by the
+        #: experiment harness (``ExperimentConfig(obs=True)``).
+        self.obs = None
 
     # -- conveniences ---------------------------------------------------------
 

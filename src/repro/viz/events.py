@@ -103,6 +103,23 @@ class LifecycleEvent:
     cpu: Optional[int]
 
 
+@dataclass(frozen=True)
+class SchedSwitchEvent:
+    """A CPU switched what it executes (the kernel's ``sched_switch``).
+
+    ``next_tid`` is ``None`` when the CPU stops executing (the previous
+    task slept, blocked, exited, or was preempted off); ``prev_tid`` is
+    ``None`` when the CPU picks up work after being empty.  The obs trace
+    exporter reconstructs per-core running-task slices from this stream.
+    """
+
+    time_us: int
+    cpu: int
+    prev_tid: Optional[int]
+    next_tid: Optional[int]
+    next_name: str = ""
+
+
 class Probe:
     """No-op probe: the scheduler's instrumentation hooks.
 
@@ -151,6 +168,16 @@ class Probe:
         outcome: str,
     ) -> None:
         """A load-balancing attempt concluded."""
+
+    def on_sched_switch(
+        self,
+        now: int,
+        cpu: int,
+        prev_tid: Optional[int],
+        next_tid: Optional[int],
+        next_name: str = "",
+    ) -> None:
+        """A CPU switched what it executes (either tid may be ``None``)."""
 
 
 class TraceBuffer:
@@ -212,6 +239,7 @@ class TraceProbe(Probe):
         record_migrations: bool = True,
         record_wakeups: bool = True,
         record_lifecycle: bool = True,
+        record_switches: bool = True,
     ):
         self.buffer = buffer if buffer is not None else TraceBuffer()
         self.record_nr_running = record_nr_running
@@ -220,6 +248,7 @@ class TraceProbe(Probe):
         self.record_migrations = record_migrations
         self.record_wakeups = record_wakeups
         self.record_lifecycle = record_lifecycle
+        self.record_switches = record_switches
 
     def on_nr_running(self, now: int, cpu: int, nr_running: int) -> None:
         if self.record_nr_running:
@@ -276,6 +305,19 @@ class TraceProbe(Probe):
                 BalanceEvent(
                     now, cpu, domain, local_metric, busiest_metric, outcome
                 )
+            )
+
+    def on_sched_switch(
+        self,
+        now: int,
+        cpu: int,
+        prev_tid: Optional[int],
+        next_tid: Optional[int],
+        next_name: str = "",
+    ) -> None:
+        if self.record_switches:
+            self.buffer.append(
+                SchedSwitchEvent(now, cpu, prev_tid, next_tid, next_name)
             )
 
 
@@ -342,3 +384,14 @@ class FanoutProbe(Probe):
             probe.on_balance(
                 now, cpu, domain, local_metric, busiest_metric, outcome
             )
+
+    def on_sched_switch(
+        self,
+        now: int,
+        cpu: int,
+        prev_tid: Optional[int],
+        next_tid: Optional[int],
+        next_name: str = "",
+    ) -> None:
+        for probe in self.probes:
+            probe.on_sched_switch(now, cpu, prev_tid, next_tid, next_name)

@@ -1,0 +1,168 @@
+"""Metrics registry: counters, gauges, log-bucketed histograms, rendering."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _bucket_index,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value() == 0
+        c.inc()
+        c.inc(3)
+        assert c.value() == 4
+
+    def test_labels_are_independent_series(self):
+        c = Counter("migrations")
+        c.inc(reason="balance")
+        c.inc(reason="balance")
+        c.inc(reason="nohz")
+        assert c.value(reason="balance") == 2
+        assert c.value(reason="nohz") == 1
+        assert c.value(reason="other") == 0
+        assert c.total() == 3
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x")
+        c.inc(a=1, b=2)
+        assert c.value(b=2, a=1) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(5, cpu=0)
+        g.add(-2, cpu=0)
+        assert g.value(cpu=0) == 3
+
+    def test_gauges_may_go_negative(self):
+        g = Gauge("delta")
+        g.add(-7)
+        assert g.value() == -7
+
+
+class TestBucketIndex:
+    @pytest.mark.parametrize(
+        "value,bucket",
+        [(0, 0), (0.5, 0), (1, 1), (2, 2), (3, 2), (4, 3), (1023, 10),
+         (1024, 11)],
+    )
+    def test_powers_of_two(self, value, bucket):
+        assert _bucket_index(value) == bucket
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert _bucket_index(2**100) == 63
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("lat")
+        for v in (10, 20, 30):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.mean() == 20
+
+    def test_single_value_percentiles_are_exact(self):
+        h = Histogram("lat")
+        h.observe(1000)
+        for p in (0, 50, 99, 100):
+            assert h.percentile(p) == 1000
+
+    def test_tail_survives_aggregation(self):
+        # 999 short events must not hide one 4 ms stall -- the whole point
+        # of log-bucketing (htop-style averaging is how the bugs hid).
+        h = Histogram("lat")
+        for _ in range(999):
+            h.observe(10)
+        h.observe(4000)
+        assert h.percentile(50) < 100
+        assert h.percentile(99.95) == 4000
+        assert h.mean() < 20
+
+    def test_percentile_clamps_to_observed_range(self):
+        h = Histogram("lat")
+        h.observe(100)
+        h.observe(200)
+        assert 100 <= h.percentile(50) <= 200
+        assert h.percentile(100) <= 200
+
+    def test_labels_filter_and_merge(self):
+        h = Histogram("lat")
+        h.observe(10, cpu=0)
+        h.observe(1000, cpu=1)
+        assert h.count(cpu=0) == 1
+        assert h.count() == 2
+        assert h.percentile(100, cpu=0) <= 15
+        assert h.percentile(100) == 1000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").observe(-1)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+
+class TestRegistry:
+    def test_create_or_get(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_get_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").kind == "gauge"
+        assert reg.get("missing") is None
+
+
+class TestSnapshotRender:
+    def test_empty(self):
+        assert MetricsRegistry().snapshot().render() == "no metrics recorded"
+
+    def test_counter_series_lines(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sched_migrations_total", "migrations by reason")
+        c.inc(reason="balance:MC")
+        c.inc(2, reason="nohz")
+        text = reg.snapshot().render()
+        assert "counter sched_migrations_total" in text
+        assert "reason=balance:MC" in text
+        assert "reason=nohz" in text
+
+    def test_histogram_summary_line(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency")
+        for v in (100, 200, 4000):
+            h.observe(v, cpu=0)
+        text = reg.snapshot().render()
+        assert "histogram lat" in text
+        assert "count=3" in text
+        assert "p99=" in text
+        assert "cpu=0" in text

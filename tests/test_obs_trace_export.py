@@ -1,0 +1,200 @@
+"""Chrome trace-event export: builder unit tests + the CLI acceptance run."""
+
+import json
+
+import pytest
+
+from repro.obs.trace_export import CHECKER_PID, ENGINE_PID, ChromeTraceBuilder
+from repro.obs.tracepoints import TracepointRegistry, span
+
+
+def _builder(num_cpus=2, **kwargs):
+    reg = TracepointRegistry()
+    builder = ChromeTraceBuilder(num_cpus, **kwargs)
+    builder.attach(reg)
+    return reg, builder
+
+
+def _events(builder):
+    return builder.to_json()["traceEvents"]
+
+
+class TestBuilderUnits:
+    def test_metadata_names_every_cpu_track(self):
+        _, builder = _builder(num_cpus=3)
+        names = {
+            e["args"]["name"]
+            for e in _events(builder)
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"cpu 0", "cpu 1", "cpu 2", "sanity-checker",
+                "engine"} <= names
+
+    def test_switch_pair_produces_complete_slice(self):
+        reg, builder = _builder()
+        tp = reg.tracepoint("sched.switch")
+        tp.emit(100, cpu=0, prev_tid=None, next_tid=7, next_name="lu-0")
+        tp.emit(400, cpu=0, prev_tid=7, next_tid=None, next_name="")
+        (slice_,) = [e for e in _events(builder) if e.get("cat") == "task"]
+        assert slice_["ph"] == "X"
+        assert slice_["ts"] == 100 and slice_["dur"] == 300
+        assert slice_["name"] == "lu-0" and slice_["pid"] == 0
+
+    def test_back_to_back_switch_closes_previous_slice(self):
+        reg, builder = _builder()
+        tp = reg.tracepoint("sched.switch")
+        tp.emit(0, cpu=0, prev_tid=None, next_tid=1, next_name="a")
+        tp.emit(50, cpu=0, prev_tid=1, next_tid=2, next_name="b")
+        builder.finish(80)
+        slices = [e for e in _events(builder) if e.get("cat") == "task"]
+        assert [(s["name"], s["ts"], s["dur"]) for s in slices] == [
+            ("a", 0, 50), ("b", 50, 30),
+        ]
+
+    def test_migration_emits_flow_pair(self):
+        reg, builder = _builder()
+        reg.tracepoint("sched.migration").emit(
+            10, tid=3, src_cpu=0, dst_cpu=1, reason="balance:MC"
+        )
+        flows = [e for e in _events(builder) if e.get("cat") == "migration"]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["pid"] == 0 and finish["pid"] == 1
+        assert start["id"] == finish["id"]
+        assert "balance:MC" in start["name"]
+
+    def test_checker_events_become_instants(self):
+        reg, builder = _builder()
+        reg.tracepoint("checker.violation_detected").emit(
+            1000, violations=2, pairs=((0, 1),), window_us=50_000
+        )
+        reg.tracepoint("checker.bug_confirmed").emit(
+            2000, detected_at_us=1000, violations=2, migrations=0,
+            forks=0, exits=0, wakeups=3,
+        )
+        instants = [e for e in _events(builder) if e.get("cat") == "checker"]
+        assert len(instants) == 2
+        assert all(e["ph"] == "i" and e["pid"] == CHECKER_PID
+                   for e in instants)
+        assert all(e["s"] == "g" for e in instants)  # global scope
+
+    def test_checker_check_tracepoint_not_rendered(self):
+        reg, builder = _builder()
+        reg.tracepoint("checker.check").emit(1000, violations=0)
+        assert not [e for e in _events(builder) if e.get("cat") == "checker"]
+
+    def test_engine_labels_surface_as_instants(self):
+        reg, builder = _builder()
+        reg.tracepoint("engine.callback").emit(5, label="phase-end:17")
+        reg.tracepoint("engine.callback").emit(6, label="")
+        instants = [e for e in _events(builder) if e.get("cat") == "engine"]
+        assert [e["name"] for e in instants] == ["phase-end:17", "callback"]
+        assert all(e["pid"] == ENGINE_PID for e in instants)
+
+    def test_nr_running_becomes_counter_track(self):
+        reg, builder = _builder()
+        reg.tracepoint("sched.nr_running").emit(7, cpu=1, nr_running=3)
+        (counter,) = [e for e in _events(builder) if e["ph"] == "C"]
+        assert counter["args"]["nr"] == 3 and counter["pid"] == 1
+
+    def test_spans_render_as_slices(self):
+        reg, builder = _builder()
+        s = span("obs.experiment", 100, registry=reg, bug="gi")
+        s.end(900)
+        (slice_,) = [e for e in _events(builder) if e.get("cat") == "obs"]
+        assert slice_["name"] == "obs.experiment"
+        assert slice_["ts"] == 100 and slice_["dur"] == 800
+
+    def test_finish_closes_open_slices(self):
+        reg, builder = _builder()
+        reg.tracepoint("sched.switch").emit(
+            0, cpu=1, prev_tid=None, next_tid=9, next_name="hog"
+        )
+        builder.finish(500)
+        (slice_,) = [e for e in _events(builder) if e.get("cat") == "task"]
+        assert slice_["dur"] == 500
+
+    def test_max_events_drops_and_counts(self):
+        reg, builder = _builder(max_events=10)  # metadata already uses 8
+        tp = reg.tracepoint("sched.nr_running")
+        for t in range(5):
+            tp.emit(t, cpu=0, nr_running=1)
+        data = builder.to_json()
+        assert len(data["traceEvents"]) == 10
+        assert data["otherData"]["dropped_events"] == 3
+
+    def test_write_produces_valid_json(self, tmp_path):
+        reg, builder = _builder()
+        reg.tracepoint("sched.switch").emit(
+            0, cpu=0, prev_tid=None, next_tid=1, next_name="t"
+        )
+        path = tmp_path / "trace.json"
+        count = builder.write(str(path), end_us=100)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == count
+
+    def test_double_attach_rejected(self):
+        reg, builder = _builder()
+        with pytest.raises(RuntimeError):
+            builder.attach(reg)
+
+
+class TestCliAcceptance:
+    """ISSUE acceptance: `repro trace group_imbalance --out /tmp/t.json`."""
+
+    @pytest.fixture(scope="class")
+    def trace_data(self, tmp_path_factory):
+        from repro.cli import main
+
+        path = tmp_path_factory.mktemp("obs") / "t.json"
+        assert main(["trace", "group_imbalance", "--out", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    def test_valid_chrome_trace_json(self, trace_data):
+        assert isinstance(trace_data["traceEvents"], list)
+        assert trace_data["traceEvents"]
+
+    def test_per_core_tracks(self, trace_data):
+        events = trace_data["traceEvents"]
+        named = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        # The group-imbalance scenario runs on the 2-node, 8-CPU machine.
+        assert {f"cpu {i}" for i in range(8)} <= set(named)
+        task_pids = {e["pid"] for e in events if e.get("cat") == "task"}
+        assert len(task_pids) >= 2  # slices on several cores
+
+    def test_at_least_one_migration_flow(self, trace_data):
+        flows = [
+            e for e in trace_data["traceEvents"]
+            if e.get("cat") == "migration" and e["ph"] == "s"
+        ]
+        assert flows
+
+    def test_at_least_one_checker_instant(self, trace_data):
+        instants = [
+            e for e in trace_data["traceEvents"]
+            if e.get("cat") == "checker" and e["ph"] == "i"
+        ]
+        assert instants
+
+    def test_metrics_subcommand_renders_table(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["metrics", "overload-on-wakeup", "--duration-us", "200000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sched_wakeup_to_run_latency_us" in out
+        assert "wakeup-to-run latency" in out
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out

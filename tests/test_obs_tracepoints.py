@@ -1,0 +1,158 @@
+"""Tracepoint bus: enabled-flag gating, pattern subscription, spans."""
+
+import pytest
+
+from repro.obs.tracepoints import Span, Tracepoint, TracepointRegistry, span
+
+
+def _collector(sink):
+    def fn(name, now, fields):
+        sink.append((name, now, dict(fields)))
+
+    return fn
+
+
+class TestTracepoint:
+    def test_disabled_until_subscribed(self):
+        tp = Tracepoint("x")
+        assert not tp.enabled
+        tp.subscribe(lambda *a: None)
+        assert tp.enabled
+
+    def test_unsubscribe_disables_when_last_leaves(self):
+        tp = Tracepoint("x")
+        a, b = (lambda *x: None), (lambda *x: None)
+        tp.subscribe(a)
+        tp.subscribe(b)
+        tp.unsubscribe(a)
+        assert tp.enabled
+        tp.unsubscribe(b)
+        assert not tp.enabled
+
+    def test_emit_delivers_name_time_fields(self):
+        events = []
+        tp = Tracepoint("sched.test")
+        tp.subscribe(_collector(events))
+        tp.emit(123, cpu=4, reason="balance")
+        assert events == [("sched.test", 123, {"cpu": 4, "reason": "balance"})]
+
+    def test_emit_reaches_every_subscriber(self):
+        first, second = [], []
+        tp = Tracepoint("x")
+        tp.subscribe(_collector(first))
+        tp.subscribe(_collector(second))
+        tp.emit(1, k=1)
+        assert len(first) == len(second) == 1
+
+
+class TestRegistry:
+    def test_tracepoint_is_create_or_get(self):
+        reg = TracepointRegistry()
+        assert reg.tracepoint("a") is reg.tracepoint("a")
+
+    def test_exact_subscription(self):
+        reg = TracepointRegistry()
+        tp = reg.tracepoint("sched.wakeup")
+        other = reg.tracepoint("sched.switch")
+        events = []
+        reg.subscribe("sched.wakeup", _collector(events))
+        assert tp.enabled and not other.enabled
+
+    def test_prefix_pattern_matches_existing(self):
+        reg = TracepointRegistry()
+        reg.tracepoint("sched.wakeup")
+        reg.tracepoint("sched.switch")
+        reg.tracepoint("engine.callback")
+        events = []
+        reg.subscribe("sched.*", _collector(events))
+        reg.tracepoint("sched.wakeup").emit(1)
+        reg.tracepoint("engine.callback").emit(2)
+        assert [e[0] for e in events] == ["sched.wakeup"]
+
+    def test_pattern_covers_late_created_tracepoints(self):
+        reg = TracepointRegistry()
+        events = []
+        reg.subscribe("checker.*", _collector(events))
+        late = reg.tracepoint("checker.bug_confirmed")
+        assert late.enabled
+        late.emit(5, n=1)
+        assert events[0][0] == "checker.bug_confirmed"
+
+    def test_star_matches_everything(self):
+        reg = TracepointRegistry()
+        events = []
+        reg.subscribe("*", _collector(events))
+        reg.tracepoint("anything.at.all").emit(1)
+        assert len(events) == 1
+
+    def test_unsubscribe_pattern_also_stops_late_creation(self):
+        reg = TracepointRegistry()
+        fn = _collector([])
+        reg.subscribe("sched.*", fn)
+        reg.unsubscribe("sched.*", fn)
+        assert not reg.tracepoint("sched.wakeup").enabled
+
+    def test_unsubscribe_exact(self):
+        reg = TracepointRegistry()
+        tp = reg.tracepoint("a")
+        fn = _collector([])
+        reg.subscribe("a", fn)
+        reg.unsubscribe("a", fn)
+        assert not tp.enabled
+
+    def test_names_sorted(self):
+        reg = TracepointRegistry()
+        reg.tracepoint("b")
+        reg.tracepoint("a")
+        assert reg.names() == ["a", "b"]
+
+
+class TestSpan:
+    def test_emits_begin_and_end(self):
+        reg = TracepointRegistry()
+        events = []
+        reg.subscribe("obs.*", _collector(events))
+        s = span("obs.window", 10, registry=reg, bug="gi")
+        s.end(30)
+        assert events == [
+            ("obs.window", 10, {"ph": "B", "bug": "gi"}),
+            ("obs.window", 30, {"ph": "E", "bug": "gi"}),
+        ]
+
+    def test_end_is_idempotent(self):
+        reg = TracepointRegistry()
+        events = []
+        reg.subscribe("obs.*", _collector(events))
+        s = span("obs.window", 0, registry=reg)
+        s.end(1)
+        s.end(2)
+        assert len(events) == 2
+
+    def test_disabled_span_emits_nothing(self):
+        tp = Tracepoint("obs.window")
+        s = Span(tp, 0)
+        s.end(1)  # no subscribers: must not raise, must not allocate events
+        assert not tp.enabled
+
+
+def test_module_registry_is_importable_and_shared():
+    from repro.obs import TRACEPOINTS as a
+    from repro.obs.tracepoints import TRACEPOINTS as b
+
+    assert a is b
+
+
+@pytest.mark.parametrize(
+    "pattern,name,expected",
+    [
+        ("sched.*", "sched.wakeup", True),
+        ("sched.*", "schedx", False),
+        ("sched.wakeup", "sched.wakeup", True),
+        ("sched.wakeup", "sched.wakeup2", False),
+        ("*", "anything", True),
+    ],
+)
+def test_pattern_matching(pattern, name, expected):
+    from repro.obs.tracepoints import _matches
+
+    assert _matches(pattern, name) is expected

@@ -1,0 +1,139 @@
+"""BalanceProfiler: gating, outcome counting, failure fractions."""
+
+from repro.core.profiler import BalanceProfiler
+from repro.viz.events import BalanceEvent, ConsideredEvent
+
+
+def _feed(profiler, events):
+    for now, cpu, domain, local, busiest, outcome in events:
+        profiler.on_balance(now, cpu, domain, local, busiest, outcome)
+
+
+class TestStartStopGating:
+    def test_inactive_by_default(self):
+        profiler = BalanceProfiler()
+        profiler.on_balance(0, 0, "MC", 1.0, 2.0, "moved:1")
+        profiler.on_considered(0, 0, "load_balance", [1, 2])
+        assert len(profiler.buffer) == 0
+
+    def test_start_records_both_event_kinds(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        profiler.on_balance(10, 0, "MC", 1.0, 2.0, "moved:1")
+        profiler.on_considered(10, 0, "load_balance", [1, 2])
+        assert len(profiler.balance_events()) == 1
+        considered = profiler.buffer.of_type(ConsideredEvent)
+        assert considered[0].considered == frozenset({1, 2})
+
+    def test_stop_gates_again(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        profiler.on_balance(10, 0, "MC", 1.0, 2.0, "balanced")
+        profiler.stop()
+        profiler.on_balance(20, 0, "MC", 1.0, 2.0, "balanced")
+        assert len(profiler.balance_events()) == 1
+
+    def test_capacity_bounds_buffer(self):
+        # TraceBuffer keeps the paper's static-array contract: appends
+        # past capacity are dropped and counted, never resized.
+        profiler = BalanceProfiler(capacity=3)
+        profiler.start()
+        _feed(
+            profiler,
+            [(t, 0, "MC", 1.0, 2.0, "balanced") for t in range(10)],
+        )
+        events = profiler.balance_events()
+        assert len(events) == 3
+        assert [e.time_us for e in events] == [0, 1, 2]
+        assert profiler.buffer.dropped == 7
+
+
+class TestOutcomeCounts:
+    def test_counts_by_domain_and_outcome_class(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        _feed(
+            profiler,
+            [
+                (1, 0, "MC", 1.0, 2.0, "moved:1"),
+                (2, 0, "MC", 1.0, 2.0, "moved:2"),
+                (3, 0, "MC", 1.0, None, "balanced"),
+                (4, 4, "NUMA", 1.0, 2.0, "blocked:affinity"),
+            ],
+        )
+        counts = profiler.outcome_counts()
+        # "moved:1" and "moved:2" collapse to one outcome class.
+        assert counts[("MC", "moved")] == 2
+        assert counts[("MC", "balanced")] == 1
+        assert counts[("NUMA", "blocked")] == 1
+
+    def test_empty_buffer(self):
+        assert BalanceProfiler().outcome_counts() == {}
+
+
+class TestFailedFraction:
+    def test_empty_buffer_is_zero(self):
+        assert BalanceProfiler().failed_fraction() == 0.0
+
+    def test_counts_everything_but_moved_as_failed(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        _feed(
+            profiler,
+            [
+                (1, 0, "MC", 1.0, 2.0, "moved:1"),
+                (2, 0, "MC", 1.0, None, "balanced"),
+                (3, 0, "MC", 1.0, 2.0, "blocked:affinity"),
+                (4, 0, "MC", 1.0, 2.0, "balanced"),
+            ],
+        )
+        assert profiler.failed_fraction() == 0.75
+
+    def test_domain_filter(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        _feed(
+            profiler,
+            [
+                (1, 0, "MC", 1.0, 2.0, "moved:1"),
+                (2, 0, "MC", 1.0, 2.0, "moved:1"),
+                (3, 4, "NUMA", 1.0, None, "balanced"),
+            ],
+        )
+        assert profiler.failed_fraction(domain="MC") == 0.0
+        assert profiler.failed_fraction(domain="NUMA") == 1.0
+
+    def test_domain_filter_with_no_matches(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        _feed(profiler, [(1, 0, "MC", 1.0, 2.0, "moved:1")])
+        assert profiler.failed_fraction(domain="SMT") == 0.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert "no balancing activity" in BalanceProfiler().summarize()
+
+    def test_lists_outcomes_and_fraction(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        _feed(
+            profiler,
+            [
+                (1, 0, "MC", 1.0, 2.0, "moved:1"),
+                (2, 0, "MC", 1.0, None, "balanced"),
+            ],
+        )
+        text = profiler.summarize()
+        assert "MC" in text
+        assert "moved" in text and "balanced" in text
+        assert "50.00%" in text
+
+    def test_events_are_real_balance_events(self):
+        profiler = BalanceProfiler()
+        profiler.start()
+        profiler.on_balance(5, 2, "NUMA", 3.0, 4.0, "moved:1")
+        (event,) = profiler.balance_events()
+        assert isinstance(event, BalanceEvent)
+        assert event.cpu == 2
+        assert event.busiest_metric == 4.0
