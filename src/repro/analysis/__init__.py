@@ -1,0 +1,44 @@
+"""repro.analysis: the offline static invariant checker (``repro lint``).
+
+The complement of the paper's online sanity checker (Algorithm 2): instead
+of detecting invariant violations *after* they occur at runtime, this
+package checks, before anything runs, the invariants the reproduction
+depends on -- seed determinism, the ``sched``/``sim``/``obs`` layering
+contract, tracepoint-registry consistency, and feature-flag discipline.
+
+Public surface:
+
+* :class:`~repro.analysis.core.Rule` -- the plugin interface;
+* :class:`~repro.analysis.core.Analyzer` -- the single-pass file walker;
+* :class:`~repro.analysis.core.Finding` -- one structured violation;
+* :class:`~repro.analysis.baseline.Baseline` -- grandfathered violations;
+* :func:`~repro.analysis.rules.default_rules` -- the shipped rule set;
+* :func:`~repro.analysis.runner.run_lint` -- the CLI entry point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.core import (
+    Analyzer,
+    FileContext,
+    Finding,
+    Rule,
+    iter_python_files,
+    module_for_path,
+)
+from repro.analysis.rules import default_rules
+from repro.analysis.runner import run_lint
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "default_rules",
+    "iter_python_files",
+    "module_for_path",
+    "run_lint",
+]

@@ -1,0 +1,98 @@
+"""Baseline ("grandfather") file support for the offline checker.
+
+A baseline records the fingerprints of known, tolerated violations so a
+freshly-added rule can gate CI immediately: old findings are suppressed,
+*new* ones fail the build.  The file is JSON, human-reviewable, and meant
+to shrink over time -- each entry carries enough context (rule, path,
+snippet) to find and fix the violation it excuses.
+
+Fingerprints hash the rule id, file path, and offending source text (not
+the line number), so entries survive unrelated edits that shift lines.
+Paths are recorded as they appear in findings -- repo-relative -- so the
+checker and the baseline must both be run from the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or structurally invalid baseline file."""
+
+
+class Baseline:
+    """A set of suppressed finding fingerprints, with context for humans."""
+
+    def __init__(self, entries: Iterable[Dict[str, object]] = ()):
+        self.entries: List[Dict[str, object]] = list(entries)
+        self._fingerprints = {
+            str(entry.get("fingerprint", "")) for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self._fingerprints
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, suppressed-by-baseline)."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if finding in self else new).append(finding)
+        return new, suppressed
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly ``findings``."""
+        return cls(
+            {
+                "fingerprint": f.fingerprint(),
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {version!r}; "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = payload["entries"]
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path}: 'entries' must be a list")
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,144 @@
+"""Feature-flag discipline: buggy/fixed toggles live in ``SchedFeatures``.
+
+The paper's four bugs are modeled as *feature flags* so any combination of
+buggy/fixed variants can run side by side (Table 2 is exactly such a
+matrix).  That only works if every decision point reads its toggle from the
+one :class:`repro.sched.features.SchedFeatures` instance -- an ad-hoc
+``buggy=True`` parameter or a locally-defined ``fix_*`` boolean silently
+forks the configuration space and cannot be swept by the experiment
+harness.  Inside ``repro.sched``/``repro.sim`` this rule flags:
+
+* function parameters named like toggles (``fix_*``, ``buggy``, ``fixed``,
+  ``variant``);
+* literal ``True``/``False`` assignments to toggle-named variables;
+* ``.fix_*`` attribute reads whose receiver is not a ``features`` object;
+* ``fix_*=...`` keyword arguments to anything other than the
+  ``SchedFeatures`` constructor/``replace``/``with_fixes``;
+* comparisons against the variant strings ``"buggy"``/``"fixed"`` (variant
+  naming belongs to the experiment layer).
+
+``repro.sched.features`` itself -- the single legitimate home of the
+flags -- is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+_TOGGLE_NAME = re.compile(r"^(fix_[a-z0-9_]+|buggy|fixed|variant)$")
+_FLAG_ATTR = re.compile(r"^fix_[a-z0-9_]+$")
+_ALLOWED_FLAG_CALLS = {"SchedFeatures", "replace", "with_fixes"}
+_VARIANT_STRINGS = {"buggy", "fixed"}
+
+#: The one module allowed to define and name the flags.
+_EXEMPT_MODULES = ("repro.sched.features",)
+
+
+def _is_features_receiver(node: ast.AST) -> bool:
+    """True for ``features`` / ``self.features`` / ``sched.features`` ..."""
+    if isinstance(node, ast.Name):
+        return node.id == "features"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "features"
+    return False
+
+
+class FeatureFlagRule(Rule):
+    rule_id = "flag-discipline"
+    description = (
+        "buggy/fixed toggles must be read from SchedFeatures, not "
+        "ad-hoc booleans"
+    )
+    scope = ("repro.sched", "repro.sim")
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = (
+                    list(node.args.posonlyargs)
+                    + list(node.args.args)
+                    + list(node.args.kwonlyargs)
+                )
+                for arg in args:
+                    if _TOGGLE_NAME.match(arg.arg):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"parameter {arg.arg!r} of {node.name}() is an "
+                            "ad-hoc variant toggle; thread the choice "
+                            "through SchedFeatures",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, bool)
+                ):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and _TOGGLE_NAME.match(
+                        target.id
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"literal boolean assigned to toggle-named "
+                            f"{target.id!r}; read the flag from "
+                            "SchedFeatures instead",
+                        )
+            elif isinstance(node, ast.Attribute):
+                if _FLAG_ATTR.match(node.attr) and not _is_features_receiver(
+                    node.value
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"flag attribute .{node.attr} read from a "
+                        "non-features object; fix flags live on "
+                        "SchedFeatures only",
+                    )
+            elif isinstance(node, ast.Call):
+                func_name = ""
+                if isinstance(node.func, ast.Name):
+                    func_name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    func_name = node.func.attr
+                if func_name in _ALLOWED_FLAG_CALLS:
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg and _FLAG_ATTR.match(keyword.arg):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"keyword {keyword.arg!r} passed to "
+                            f"{func_name or 'a call'}(); fix flags are "
+                            "only configured via SchedFeatures/replace/"
+                            "with_fixes",
+                        )
+            elif isinstance(node, ast.Compare):
+                literals = [
+                    c
+                    for c in [node.left] + list(node.comparators)
+                    if isinstance(c, ast.Constant)
+                    and c.value in _VARIANT_STRINGS
+                ]
+                for literal in literals:
+                    yield ctx.finding(
+                        self.rule_id,
+                        literal,
+                        f"comparison against variant string "
+                        f"{literal.value!r} inside the scheduler/simulator; "
+                        "variant naming belongs to repro.experiments, "
+                        "behavior gates on SchedFeatures",
+                    )

@@ -1,0 +1,109 @@
+"""The ``repro lint`` entry point: walk, apply baseline, render, exit code.
+
+Composes with pre-commit hooks and CI: exit status is 0 on a clean tree
+(or when every finding is grandfathered by the baseline) and 1 when any
+new finding exists.  ``--format json`` emits a stable machine-readable
+document; ``--write-baseline`` records the current findings as the new
+grandfather set.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.core import Analyzer, Finding
+from repro.analysis.rules import default_rules
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Schema version of the ``--format json`` document.
+REPORT_VERSION = 1
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree (lint's default subject)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def render_json(
+    new: Sequence[Finding], suppressed: Sequence[Finding]
+) -> str:
+    report = {
+        "version": REPORT_VERSION,
+        "findings": [f.to_dict() for f in new],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "counts": {"new": len(new), "suppressed": len(suppressed)},
+    }
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def render_text(
+    new: Sequence[Finding], suppressed: Sequence[Finding]
+) -> str:
+    lines = [f.format() for f in new]
+    if new:
+        lines.append("")
+    noun = "finding" if len(new) == 1 else "findings"
+    summary = f"{len(new)} {noun}"
+    if suppressed:
+        summary += f" ({len(suppressed)} suppressed by baseline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    fmt: str = "text",
+    baseline_path: Optional[str] = None,
+    write_baseline: bool = False,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Run the offline checker; returns the process exit code.
+
+    ``paths`` defaults to the installed ``repro`` package.  A baseline is
+    consulted when ``baseline_path`` is given, or when the default
+    ``lint-baseline.json`` exists in the working directory.
+    """
+    targets = (
+        [Path(p) for p in paths] if paths else [default_target()]
+    )
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        out(f"error: no such path: {', '.join(str(m) for m in missing)}")
+        return 2
+
+    analyzer = Analyzer(default_rules())
+    findings = analyzer.run(targets)
+
+    explicit = baseline_path is not None
+    resolved_baseline = Path(baseline_path or DEFAULT_BASELINE)
+    if write_baseline:
+        Baseline.from_findings(findings).save(resolved_baseline)
+        noun = "finding" if len(findings) == 1 else "findings"
+        out(
+            f"baseline written to {resolved_baseline} "
+            f"({len(findings)} {noun} grandfathered)"
+        )
+        return 0
+
+    new: List[Finding] = findings
+    suppressed: List[Finding] = []
+    if explicit or resolved_baseline.exists():
+        try:
+            baseline = Baseline.load(resolved_baseline)
+        except BaselineError as exc:
+            out(f"error: {exc}")
+            return 2
+        new, suppressed = baseline.split(findings)
+
+    if fmt == "json":
+        out(render_json(new, suppressed))
+    else:
+        out(render_text(new, suppressed))
+    return 1 if new else 0

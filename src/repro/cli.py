@@ -15,12 +15,14 @@
                           overload-on-wakeup|missing-domains>
     python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
     python -m repro metrics <bug> [--variant buggy|fixed]
+    python -m repro lint [paths ...] [--format json|text] [--baseline FILE]
     python -m repro --version
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -263,6 +265,18 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the offline static invariant checker (see repro.analysis)."""
+    from repro.analysis.runner import run_lint
+
+    return run_lint(
+        paths=args.paths or None,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+    )
+
+
 def _version() -> str:
     """Package version, from installed metadata when available."""
     try:
@@ -352,6 +366,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None)
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser(
+        "lint",
+        help="offline static invariant checker (determinism, layering, "
+        "tracepoints, flag discipline)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to check (default: the repro package)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings (default: "
+        "lint-baseline.json in the working directory, if present)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    p.set_defaults(func=_cmd_lint)
+
     p = sub.add_parser("demo", help="run one bug's live demo")
     p.add_argument("bug", type=_bug_name, metavar="bug")
     p.set_defaults(func=_cmd_demo)
@@ -384,7 +419,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # Output piped into head/grep and the reader went away first; the
+        # conventional quiet exit (subcommands like lint compose in shell
+        # pipelines and pre-commit hooks).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from repro.obs.recorder import MetricsRecorder
 from repro.obs.session import ObsSession
 from repro.obs.trace_export import ChromeTraceBuilder
 from repro.obs.tracepoints import (
+    TRACEPOINT_NAMES,
     TRACEPOINTS,
     Span,
     Tracepoint,
@@ -48,6 +49,7 @@ __all__ = [
     "ProbeTracepointBridge",
     "SCHED_TRACEPOINTS",
     "Span",
+    "TRACEPOINT_NAMES",
     "TRACEPOINTS",
     "Tracepoint",
     "TracepointRegistry",

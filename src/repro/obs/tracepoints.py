@@ -29,6 +29,30 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 #: A tracepoint consumer: ``fn(name, now_us, fields)``.
 Subscriber = Callable[[str, int, Mapping[str, object]], None]
 
+#: Every event name the bus carries, with a one-line description.  This is
+#: the authoritative registry: ``repro lint`` cross-checks it against every
+#: ``tracepoint("...")`` / ``span("...")`` call site in the tree, so an
+#: undeclared emission ("orphan emit") or an unemitted declaration ("dead
+#: declaration") fails CI.  Add the name here in the same change that adds
+#: the producer.
+TRACEPOINT_NAMES: Dict[str, str] = {
+    "engine.callback": "one executed event-loop callback, with its label",
+    "sched.nr_running": "a runqueue's nr_running changed",
+    "sched.rq_load": "a runqueue's load changed",
+    "sched.considered": "CPUs a placement/balancing decision examined",
+    "sched.migration": "a queued task moved between runqueues",
+    "sched.wakeup": "wakeup placement chose a CPU",
+    "sched.lifecycle": "task fork/exit",
+    "sched.balance": "one balancing attempt and its outcome",
+    "sched.switch": "context switch on a CPU",
+    "checker.check": "one sanity-checker invariant sweep",
+    "checker.violation_detected": "invariant violation first observed",
+    "checker.transient": "violation cleared before the threshold",
+    "checker.bug_confirmed": "violation persisted past the threshold",
+    "checker.profile_done": "the checker's profiling window closed",
+    "stats.violation_tick": "idle-while-overloaded sampler hit",
+}
+
 
 class Tracepoint:
     """One named event source; no-op until somebody subscribes."""

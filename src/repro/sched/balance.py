@@ -26,7 +26,7 @@ behalf of (Section 2.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.domains import SchedDomain, SchedGroup
@@ -149,7 +149,7 @@ def find_busiest_group(
 def pick_busiest_cpu(
     sched: "Scheduler",
     stats: GroupStats,
-    excluded: frozenset,
+    excluded: FrozenSet[int],
     now: int,
 ) -> Optional[int]:
     """The CPU with the most queued work in the group (Line 18)."""
@@ -258,7 +258,7 @@ def balance_domain(
         return 0
     busiest_metric = group_metric(sched, busiest)
     budget = compute_imbalance(sched, busiest, local)
-    excluded: set = set()
+    excluded: Set[int] = set()
     while True:
         src_cpu = pick_busiest_cpu(sched, busiest, frozenset(excluded), now)
         if src_cpu is None or src_cpu == dst_cpu:

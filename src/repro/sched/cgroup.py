@@ -71,7 +71,13 @@ class CGroup:
         self._avg_threads += (n - self._avg_threads) * self._SMOOTHING
 
     def members(self) -> Iterator["Task"]:
-        return iter(self._members)
+        """Member tasks in tid order.
+
+        ``_members`` is a set of identity-hashed Task objects, so raw set
+        order varies between runs; sorting keeps every consumer
+        deterministic for a fixed seed.
+        """
+        return iter(sorted(self._members, key=lambda t: t.tid))
 
     def __repr__(self) -> str:
         kind = "root" if self.is_root else "cgroup"

@@ -25,7 +25,7 @@ Two of the paper's bugs live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.sched.features import SchedFeatures
 from repro.topology.interconnect import hop_levels
@@ -114,7 +114,7 @@ class DomainBuilder:
     def __init__(self, topology: MachineTopology, features: SchedFeatures):
         self.topology = topology
         self.features = features
-        self._online: set = set(range(topology.num_cpus))
+        self._online: Set[int] = set(range(topology.num_cpus))
         #: True once any core was disabled then re-enabled; the buggy
         #: regeneration path truncates domains from that point on.
         self.hotplug_happened = False
@@ -207,7 +207,7 @@ class DomainBuilder:
         if len(node_cpus) > 1:
             if topo.smt_width > 1:
                 # Groups are the SMT sibling sets inside the node.
-                seen: set = set()
+                seen: Set[int] = set()
                 group_list = []
                 for c in sorted(node_cpus):
                     if c in seen:
@@ -287,7 +287,7 @@ class DomainBuilder:
             seed_order = sorted(span_nodes)
 
         groups: List[SchedGroup] = []
-        covered: set = set()
+        covered: Set[int] = set()
         for seed in seed_order:
             if seed in covered:
                 continue

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict
 
-from repro.sim.timebase import (
+from repro.sched.timebase import (
     BALANCE_BASE_US,
     MIN_GRANULARITY_US,
     SCHED_LATENCY_US,

@@ -150,7 +150,9 @@ class RBTree:
 
     # -- internals ---------------------------------------------------------
 
-    def _validate_node(self, node, lo, hi):
+    def _validate_node(
+        self, node: Optional["_Node"], lo: Any, hi: Any
+    ) -> Tuple[int, int]:
         """Return (black-height, node-count) of the subtree; assert order."""
         if node is None:
             return 1, 0

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.sched.rbtree import RBTree
 from repro.sched.task import Task, TaskState
-from repro.sim.timebase import SCHED_LATENCY_US
+from repro.sched.timebase import SCHED_LATENCY_US
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.viz.events import Probe

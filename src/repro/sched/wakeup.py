@@ -19,9 +19,10 @@ balancer uses.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.domains import SchedDomain, SchedGroup
     from repro.sched.scheduler import Scheduler
     from repro.sched.task import Task
 
@@ -193,7 +194,7 @@ def find_idlest_cpu(
     on its parent's node no matter how loaded it is.
     """
 
-    def eligible(domains):
+    def eligible(domains: List["SchedDomain"]) -> List["SchedDomain"]:
         return [
             d for d in domains if numa_levels or not d.numa
         ]
@@ -218,16 +219,22 @@ def find_idlest_cpu(
     return _any_allowed_cpu(sched, task, cpu_id)
 
 
-def _find_idlest_group(sched, domain, cpu_id, task, now):
+def _find_idlest_group(
+    sched: "Scheduler",
+    domain: "SchedDomain",
+    cpu_id: int,
+    task: "Task",
+    now: int,
+) -> Optional["SchedGroup"]:
     """The group worth descending into, or None to stay local.
 
     Uses the same group-load metric as the balancer; the local group wins
     ties and small differences (the kernel's imbalance percentage), which is
     what keeps freshly-forked threads near their parent.
     """
-    local = None
-    best = None
-    best_load = None
+    local: Optional[Tuple["SchedGroup", float]] = None
+    best: Optional["SchedGroup"] = None
+    best_load: Optional[float] = None
     examined: List[int] = []
     for group in domain.groups:
         allowed = [
@@ -257,16 +264,20 @@ def _find_idlest_group(sched, domain, cpu_id, task, now):
     return local_group
 
 
-def _group_avg_load(sched, cpus: Iterable[int], now: int) -> float:
+def _group_avg_load(
+    sched: "Scheduler", cpus: Iterable[int], now: int
+) -> float:
     cpus = list(cpus)
     if not cpus:
         return 0.0
     return sum(sched.cpu(c).rq.load(now) for c in cpus) / len(cpus)
 
 
-def _idlest_cpu_in(sched, cpus, task, now) -> Optional[int]:
-    best = None
-    best_key = None
+def _idlest_cpu_in(
+    sched: "Scheduler", cpus: Iterable[int], task: "Task", now: int
+) -> Optional[int]:
+    best: Optional[int] = None
+    best_key: Optional[Tuple[int, float]] = None
     for cpu_id in sorted(cpus):
         cpu = sched.cpu(cpu_id)
         if not cpu.online or not task.can_run_on(cpu_id):
@@ -278,7 +289,9 @@ def _idlest_cpu_in(sched, cpus, task, now) -> Optional[int]:
     return best
 
 
-def _usable_prev(sched, task, waker_cpu) -> int:
+def _usable_prev(
+    sched: "Scheduler", task: "Task", waker_cpu: Optional[int]
+) -> int:
     prev = task.prev_cpu
     if prev is None or not sched.cpu(prev).online or not task.can_run_on(prev):
         if waker_cpu is not None and task.can_run_on(waker_cpu) and sched.cpu(
@@ -289,7 +302,7 @@ def _usable_prev(sched, task, waker_cpu) -> int:
     return prev
 
 
-def _any_allowed_cpu(sched, task, hint: int) -> int:
+def _any_allowed_cpu(sched: "Scheduler", task: "Task", hint: int) -> int:
     """Deterministic fallback: the lowest-id online allowed CPU."""
     for cpu in sched.cpus:
         if cpu.online and task.can_run_on(cpu.cpu_id):

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.sched.features import SchedFeatures
 from repro.sched.scheduler import Scheduler
-from repro.sched.task import Task, TaskState
+from repro.sched.task import Task, TaskState, reset_tid_counter
 from repro.sim.engine import EventHandle, EventLoop, SimulationError
 from repro.sim.timebase import TICK_US
 from repro.topology.machine import MachineTopology
@@ -61,6 +61,9 @@ class System:
         seed: int = 0,
     ):
         self.topology = topology
+        # Tid allocation is process-global; restart it per system so two
+        # same-seed runs in one process replay byte-identical traces.
+        reset_tid_counter()
         self.loop = EventLoop()
         if probe is None:
             # A fanout by default, so tools (sanity checker, tracers) can

@@ -1,43 +1,34 @@
-"""Time units and scheduler timing constants.
+"""Backward-compatible re-export of :mod:`repro.sched.timebase`.
 
-All simulation timestamps and durations are integers in microseconds.
+The timing constants moved into the scheduler layer so that
+``repro.sched`` never has to reach up into ``repro.sim`` (the layering
+contract checked by ``repro lint``).  Simulation code and existing callers
+keep importing them from here; ``sim`` importing ``sched`` is the allowed
+direction.
 """
 
 from __future__ import annotations
 
-#: One microsecond (the base unit).
-US = 1
-#: One millisecond in microseconds.
-MS = 1000
-#: One second in microseconds.
-SEC = 1_000_000
+from repro.sched.timebase import (
+    BALANCE_BASE_US,
+    MIN_GRANULARITY_US,
+    MS,
+    SCHED_LATENCY_US,
+    SEC,
+    TICK_US,
+    US,
+    WAKEUP_GRANULARITY_US,
+    format_time,
+)
 
-#: Scheduler tick period: 1 ms, i.e. a 1000 Hz kernel.
-TICK_US = 1 * MS
-
-#: Base period of the periodic load balancer at the lowest domain level
-#: ("The load balancer runs every 4ms" -- paper, section 4.1).
-BALANCE_BASE_US = 4 * MS
-
-#: Target scheduling latency: every runnable thread should run at least once
-#: within this interval (Linux ``sched_latency_ns`` is 6 ms scaled by CPU
-#: count; we keep the base value and scale in the CFS module).
-SCHED_LATENCY_US = 6 * MS
-
-#: Minimum timeslice granted to a task before it can be preempted
-#: (Linux ``sched_min_granularity_ns``).
-MIN_GRANULARITY_US = 750
-
-#: Wakeup preemption granularity (Linux ``sched_wakeup_granularity_ns``).
-WAKEUP_GRANULARITY_US = 1 * MS
-
-
-def format_time(us: int) -> str:
-    """Render a microsecond timestamp in the most readable unit."""
-    if us < 0:
-        return f"-{format_time(-us)}"
-    if us >= SEC:
-        return f"{us / SEC:.3f}s"
-    if us >= MS:
-        return f"{us / MS:.3f}ms"
-    return f"{us}us"
+__all__ = [
+    "US",
+    "MS",
+    "SEC",
+    "TICK_US",
+    "BALANCE_BASE_US",
+    "SCHED_LATENCY_US",
+    "MIN_GRANULARITY_US",
+    "WAKEUP_GRANULARITY_US",
+    "format_time",
+]

@@ -1,0 +1,24 @@
+"""Fixture: order-sensitive iteration over set-typed values (4 findings)."""
+
+from typing import Set
+
+
+class PendingWork:
+    def __init__(self):
+        self.pending_cpus: Set[int] = set()
+        self.waiters: Set[str] = set()
+
+    def drain(self):
+        for cpu_id in self.pending_cpus:  # for-loop over a set attribute
+            dispatch(cpu_id)
+        return list(self.waiters)  # list() preserves set order
+
+    def snapshot(self, extra: Set[int]):
+        order = [c for c in extra]  # comprehension over a set parameter
+        for name in {"a", "b", "c"}:  # for-loop over a set display
+            order.append(name)
+        return order
+
+
+def dispatch(cpu_id):
+    return cpu_id

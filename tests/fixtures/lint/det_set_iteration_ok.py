@@ -1,0 +1,25 @@
+"""Fixture: set state consumed only through order-free operations."""
+
+from typing import Set
+
+
+class PendingWork:
+    def __init__(self):
+        self.pending_cpus: Set[int] = set()
+        self.waiters: Set[str] = set()
+
+    def drain(self):
+        for cpu_id in sorted(self.pending_cpus):
+            dispatch(cpu_id)
+        return sorted(self.waiters)
+
+    def totals(self, extra: Set[int]):
+        biggest = max(extra) if extra else 0
+        return sum(c for c in extra), len(self.waiters), biggest
+
+    def merged(self, extra: Set[int]) -> Set[int]:
+        return frozenset(c for c in extra if c >= 0)
+
+
+def dispatch(cpu_id):
+    return cpu_id

@@ -1,0 +1,10 @@
+"""Fixture: draws from the process-global random generator (2 findings)."""
+
+import random
+from random import choice
+
+JITTER_US = int(random.random() * 100)
+
+
+def pick_cpu(cpus):
+    return choice(sorted(cpus))

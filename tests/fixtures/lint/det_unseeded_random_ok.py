@@ -1,0 +1,11 @@
+"""Fixture: all randomness flows from an explicitly seeded generator."""
+
+import random
+
+
+class Workload:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def jitter_us(self) -> int:
+        return int(self.rng.random() * 100)

@@ -1,0 +1,11 @@
+"""Fixture: host wall-clock reads in a simulation hot path (3 findings)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(event):
+    event.wall_us = int(time.time() * 1e6)
+    event.label = datetime.now().isoformat()
+    return perf_counter

@@ -1,0 +1,5 @@
+"""Fixture: timestamps come from the event loop's virtual clock."""
+
+
+def stamp_event(event, now: int) -> None:
+    event.when_us = now

@@ -1,0 +1,19 @@
+"""Fixture: ad-hoc buggy/fixed toggles in scheduler code (5 findings).
+
+Analyzed as ``repro.sched.flags_bad``.
+"""
+
+
+def balance(queue, buggy: bool = True):  # toggle parameter
+    fix_group_imbalance = False  # literal toggle assignment
+    if queue.fix_overload_on_wakeup:  # flag read off a non-features object
+        return rebuild(fix_missing_domains=True)  # flag keyword to a helper
+    return fix_group_imbalance
+
+
+def describe(variant_name):
+    return variant_name == "buggy"  # variant string comparison
+
+
+def rebuild(**kwargs):
+    return kwargs

@@ -1,0 +1,24 @@
+"""Fixture: toggles read from SchedFeatures, the approved idiom.
+
+Analyzed as ``repro.sched.flags_ok``.
+"""
+
+from repro.sched.features import SchedFeatures
+
+
+def balance(sched, queue):
+    if sched.features.fix_group_imbalance:
+        return queue.min_load
+    return queue.avg_load
+
+
+def make_features() -> SchedFeatures:
+    return SchedFeatures(fix_group_imbalance=True).with_fixes(
+        "overload_on_wakeup"
+    )
+
+
+def tick(self, now):
+    if self.features.fix_missing_domains:
+        return now
+    return 0

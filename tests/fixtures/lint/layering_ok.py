@@ -1,0 +1,8 @@
+"""Fixture: scheduler module with allowed imports only.
+
+Analyzed as ``repro.sched.layering_ok``.
+"""
+
+from repro.sched.timebase import TICK_US  # noqa: F401
+from repro.topology.machine import MachineTopology  # noqa: F401
+from repro.viz.events import Probe  # noqa: F401

@@ -1,0 +1,17 @@
+"""Acceptance fixture (clean half): seeded RNG + virtual clock.
+
+The same helper as ``regression_wallclock.py``, written correctly: jitter
+comes from a generator seeded by the caller and timestamps come from the
+simulated ``now``.  The determinism sanitizer must stay silent here.
+"""
+
+import random
+
+
+class WakeupJitter:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def stamp(self, event, now: int) -> int:
+        event.when_us = now + self.rng.randrange(100)
+        return event.when_us

@@ -1,0 +1,17 @@
+"""Acceptance fixture (regression half): wall clock + global RNG.
+
+Identical intent to ``regression_seeded.py``, but the timestamp now reads
+the host wall clock and the jitter draws from the process-global
+generator -- the exact seeded-vs-wall-clock regression the determinism
+sanitizer exists to catch (one det-wallclock + one det-unseeded-random
+finding).
+"""
+
+import random
+import time
+
+
+class WakeupJitter:
+    def stamp(self, event, now: int) -> int:
+        event.when_us = int(time.time() * 1e6) + random.randrange(100)
+        return event.when_us

@@ -1,0 +1,13 @@
+"""Fixture: a tracepoint declaration registry with one dead entry.
+
+Analyzed as ``repro.obs.tracepoints`` so the consistency rule treats it
+as the authoritative declaration module.
+"""
+
+from typing import Dict
+
+TRACEPOINT_NAMES: Dict[str, str] = {
+    "fix.used": "a declared and emitted event",
+    "fix.spanned": "a declared event emitted via span()",
+    "fix.dead": "a declared event nothing emits (tp-dead-declaration)",
+}

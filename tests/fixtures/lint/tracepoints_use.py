@@ -1,0 +1,12 @@
+"""Fixture: tracepoint producers -- one orphan, one dynamic name.
+
+Analyzed as ``repro.sim.tracepoints_use``.
+"""
+
+_TP_USED = TRACEPOINTS.tracepoint("fix.used")  # noqa: F821
+_TP_ORPHAN = TRACEPOINTS.tracepoint("fix.orphan")  # noqa: F821  (undeclared)
+
+
+def open_span(registry, now, name):
+    span("fix.spanned", now)  # noqa: F821
+    return registry.tracepoint(name)  # dynamic name (tp-dynamic-name)

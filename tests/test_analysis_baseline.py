@@ -1,0 +1,84 @@
+"""Baseline (grandfather file) round-trip and validation tests."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, Finding
+from repro.analysis.baseline import BASELINE_VERSION
+
+
+def _finding(rule="det-wallclock", path="src/repro/sched/x.py", line=7,
+             snippet="t = time.time()"):
+    return Finding(rule, path, line, 0, "wall clock read", snippet=snippet)
+
+
+def test_round_trip_suppresses_same_findings(tmp_path):
+    findings = [_finding(), _finding(rule="flag-discipline", line=9,
+                                     snippet="buggy = True")]
+    baseline_file = tmp_path / "lint-baseline.json"
+    Baseline.from_findings(findings).save(baseline_file)
+
+    loaded = Baseline.load(baseline_file)
+    new, suppressed = loaded.split(findings)
+    assert new == []
+    assert suppressed == findings
+
+
+def test_baseline_survives_line_shift(tmp_path):
+    baseline_file = tmp_path / "b.json"
+    Baseline.from_findings([_finding(line=7)]).save(baseline_file)
+    # Same violation after unrelated edits pushed it 30 lines down.
+    shifted = _finding(line=37)
+    new, suppressed = Baseline.load(baseline_file).split([shifted])
+    assert new == []
+    assert suppressed == [shifted]
+
+
+def test_new_findings_pass_through(tmp_path):
+    baseline_file = tmp_path / "b.json"
+    Baseline.from_findings([_finding()]).save(baseline_file)
+    fresh = _finding(snippet="t2 = time.time()")
+    new, suppressed = Baseline.load(baseline_file).split([fresh])
+    assert new == [fresh]
+    assert suppressed == []
+
+
+def test_entries_carry_human_context(tmp_path):
+    baseline_file = tmp_path / "b.json"
+    Baseline.from_findings([_finding()]).save(baseline_file)
+    payload = json.loads(baseline_file.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    (entry,) = payload["entries"]
+    assert entry["rule"] == "det-wallclock"
+    assert entry["path"] == "src/repro/sched/x.py"
+    assert entry["snippet"] == "t = time.time()"
+    assert entry["fingerprint"] == _finding().fingerprint()
+
+
+def test_load_rejects_bad_json(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text("{not json")
+    with pytest.raises(BaselineError):
+        Baseline.load(bad)
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(BaselineError):
+        Baseline.load(tmp_path / "absent.json")
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        Baseline.load(bad)
+
+
+def test_load_rejects_non_list_entries(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text(
+        json.dumps({"version": BASELINE_VERSION, "entries": {}})
+    )
+    with pytest.raises(BaselineError):
+        Baseline.load(bad)

@@ -1,0 +1,127 @@
+"""Framework tests for the offline checker: findings, scoping, walking."""
+
+from pathlib import Path
+
+from repro.analysis import (
+    Analyzer,
+    Finding,
+    Rule,
+    iter_python_files,
+    module_for_path,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+
+class _EveryName(Rule):
+    """Toy rule: one finding per Name node (for walker tests)."""
+
+    rule_id = "test-every-name"
+    scope = ("repro.sched",)
+
+    def visit(self, ctx):
+        import ast
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                yield ctx.finding(self.rule_id, node, f"name {node.id}")
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding("r", "pkg/mod.py", 10, 4, "msg", snippet="x = y")
+    b = Finding("r", "pkg/mod.py", 99, 0, "other msg", snippet="x = y")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_depends_on_rule_path_and_snippet():
+    base = Finding("r", "pkg/mod.py", 1, 0, "m", snippet="x = y")
+    assert base.fingerprint() != Finding(
+        "r2", "pkg/mod.py", 1, 0, "m", snippet="x = y"
+    ).fingerprint()
+    assert base.fingerprint() != Finding(
+        "r", "pkg/other.py", 1, 0, "m", snippet="x = y"
+    ).fingerprint()
+    assert base.fingerprint() != Finding(
+        "r", "pkg/mod.py", 1, 0, "m", snippet="x = z"
+    ).fingerprint()
+
+
+def test_finding_to_dict_schema():
+    f = Finding("r", "p.py", 3, 1, "boom", snippet="code()")
+    d = f.to_dict()
+    assert set(d) == {
+        "rule",
+        "path",
+        "line",
+        "col",
+        "message",
+        "snippet",
+        "fingerprint",
+    }
+    assert d["fingerprint"] == f.fingerprint()
+
+
+def test_module_for_path_climbs_packages():
+    assert (
+        module_for_path(SRC / "repro" / "sched" / "cgroup.py")
+        == "repro.sched.cgroup"
+    )
+    assert module_for_path(SRC / "repro" / "__init__.py") == "repro"
+
+
+def test_module_for_path_stray_file(tmp_path):
+    stray = tmp_path / "loose.py"
+    stray.write_text("x = 1\n")
+    assert module_for_path(stray) == "loose"
+
+
+def test_scope_matching():
+    rule = _EveryName()
+    assert rule.wants("repro.sched")
+    assert rule.wants("repro.sched.cgroup")
+    assert not rule.wants("repro.schedx")
+    assert not rule.wants("repro.sim.engine")
+
+
+def test_check_source_respects_scope():
+    analyzer = Analyzer([_EveryName()])
+    assert analyzer.check_source("x = 1", module="repro.sim.engine") == []
+    hits = analyzer.check_source("x = y", module="repro.sched.fake")
+    assert [f.rule_id for f in hits] == ["test-every-name"] * 2
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    analyzer = Analyzer([_EveryName()])
+    findings = analyzer.run([bad], modules={bad: "repro.sched.broken"})
+    assert len(findings) == 1
+    assert findings[0].rule_id == "parse-error"
+    assert findings[0].line == 1
+
+
+def test_iter_python_files_expands_and_sorts(tmp_path):
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "c.py").write_text("")
+    (tmp_path / "notes.txt").write_text("")
+    files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+    assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_run_sorts_findings_by_location(tmp_path):
+    f1 = tmp_path / "aa.py"
+    f2 = tmp_path / "bb.py"
+    f1.write_text("x = y\nz = w\n")
+    f2.write_text("q = r\n")
+    analyzer = Analyzer([_EveryName()])
+    findings = analyzer.run(
+        [tmp_path],
+        modules={f1: "repro.sched.aa", f2: "repro.sched.bb"},
+    )
+    keys = [f.sort_key() for f in findings]
+    assert keys == sorted(keys)
+    assert {f.path.rsplit("/", 1)[-1] for f in findings} == {"aa.py", "bb.py"}

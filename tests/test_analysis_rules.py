@@ -1,0 +1,186 @@
+"""Per-rule positive and negative tests over the lint fixture corpus.
+
+Each ``*_bad.py`` fixture must trip its rule (the positive half proves the
+rule actually fires -- the suite fails if the rule is deleted or gutted),
+and each ``*_ok.py`` twin must stay silent (the negative half pins the
+false-positive rate at zero for the idioms the codebase actually uses).
+
+Fixtures live outside any package, so they are analyzed under assumed
+module names (``repro.sched.<stem>`` etc.) to land inside rule scopes --
+the same override hook ``Analyzer.run(modules=...)`` exposes to users.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Analyzer, default_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def lint_fixture(name, module):
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {path}"
+    analyzer = Analyzer(default_rules())
+    return analyzer.run([path], modules={path: module})
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------- determinism
+
+
+def test_unseeded_random_bad():
+    findings = lint_fixture(
+        "det_unseeded_random_bad.py", "repro.sched.det_unseeded_random_bad"
+    )
+    assert rule_ids(findings) == ["det-unseeded-random"] * 2
+
+
+def test_unseeded_random_ok():
+    findings = lint_fixture(
+        "det_unseeded_random_ok.py", "repro.sched.det_unseeded_random_ok"
+    )
+    assert findings == []
+
+
+def test_wallclock_bad():
+    findings = lint_fixture(
+        "det_wallclock_bad.py", "repro.sched.det_wallclock_bad"
+    )
+    assert rule_ids(findings) == ["det-wallclock"] * 3
+
+
+def test_wallclock_ignored_outside_hot_scope():
+    # The same file analyzed as a viz module is allowed to read the clock.
+    findings = lint_fixture(
+        "det_wallclock_bad.py", "repro.viz.det_wallclock_bad"
+    )
+    assert findings == []
+
+
+def test_wallclock_ok():
+    findings = lint_fixture(
+        "det_wallclock_ok.py", "repro.sched.det_wallclock_ok"
+    )
+    assert findings == []
+
+
+def test_set_iteration_bad():
+    findings = lint_fixture(
+        "det_set_iteration_bad.py", "repro.sched.det_set_iteration_bad"
+    )
+    assert rule_ids(findings) == ["det-set-iteration"] * 4
+
+
+def test_set_iteration_ok():
+    findings = lint_fixture(
+        "det_set_iteration_ok.py", "repro.sched.det_set_iteration_ok"
+    )
+    assert findings == []
+
+
+def test_seeded_vs_wallclock_regression_pair():
+    """Acceptance: the sanitizer catches a seeded->wall-clock regression.
+
+    ``regression_seeded.py`` and ``regression_wallclock.py`` implement the
+    same jitter helper; only the second trades the virtual clock and the
+    caller-seeded generator for ``time.time()`` and the global ``random``
+    module.  The diff between the two is exactly the regression class the
+    determinism rules exist to stop, and lint must flag only the bad half.
+    """
+    clean = lint_fixture(
+        "regression_seeded.py", "repro.sched.regression_seeded"
+    )
+    assert clean == []
+
+    regressed = lint_fixture(
+        "regression_wallclock.py", "repro.sched.regression_wallclock"
+    )
+    assert sorted(rule_ids(regressed)) == [
+        "det-unseeded-random",
+        "det-wallclock",
+    ]
+
+
+# ------------------------------------------------------------------- layering
+
+
+def test_layering_bad():
+    findings = lint_fixture("layering_bad.py", "repro.sched.layering_bad")
+    assert sorted(rule_ids(findings)) == [
+        "layer-sched-obs",
+        "layer-sched-sim",
+        "layer-sched-sim",
+    ]
+
+
+def test_layering_ok():
+    findings = lint_fixture("layering_ok.py", "repro.sched.layering_ok")
+    assert findings == []
+
+
+def test_layering_inert_outside_source_layer():
+    # sim importing sim is never a layering violation.
+    findings = lint_fixture("layering_bad.py", "repro.sim.layering_bad")
+    assert [r for r in rule_ids(findings) if r.startswith("layer-")] == []
+
+
+# ----------------------------------------------------------------- flag rules
+
+
+def test_flags_bad():
+    findings = lint_fixture("flags_bad.py", "repro.sched.flags_bad")
+    assert rule_ids(findings) == ["flag-discipline"] * 5
+
+
+def test_flags_ok():
+    findings = lint_fixture("flags_ok.py", "repro.sched.flags_ok")
+    assert findings == []
+
+
+# ---------------------------------------------------------------- tracepoints
+
+
+def _lint_tracepoint_pair():
+    decl = FIXTURES / "tracepoints_decl.py"
+    use = FIXTURES / "tracepoints_use.py"
+    analyzer = Analyzer(default_rules())
+    return analyzer.run(
+        [decl, use],
+        modules={
+            decl: "repro.obs.tracepoints",
+            use: "repro.sim.tracepoints_use",
+        },
+    )
+
+
+def test_tracepoint_consistency():
+    findings = _lint_tracepoint_pair()
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule_id, []).append(f)
+    assert set(by_rule) == {
+        "tp-orphan-emit",
+        "tp-dead-declaration",
+        "tp-dynamic-name",
+    }
+    (orphan,) = by_rule["tp-orphan-emit"]
+    assert "fix.orphan" in orphan.message
+    (dead,) = by_rule["tp-dead-declaration"]
+    assert "fix.dead" in dead.message
+    # Declared-and-used names are never reported.
+    assert not any("fix.used" in f.message for f in findings)
+    assert not any("fix.spanned" in f.message for f in findings)
+
+
+def test_tracepoint_cross_checks_need_declaration_module():
+    # Linting only the producer file (a partial tree) must not produce
+    # orphan findings -- the registry was never seen.
+    use = FIXTURES / "tracepoints_use.py"
+    analyzer = Analyzer(default_rules())
+    findings = analyzer.run(
+        [use], modules={use: "repro.sim.tracepoints_use"}
+    )
+    assert rule_ids(findings) == ["tp-dynamic-name"]

@@ -1,0 +1,114 @@
+"""End-to-end tests for ``repro lint``: exit codes, JSON schema, baseline."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.runner import REPORT_VERSION
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+#: Trips UnseededRandomRule, whose scope is the whole tree -- no module
+#: override needed, so it exercises the real CLI path.
+BAD_SOURCE = "import random\n\njitter = random.random()\n"
+CLEAN_SOURCE = "import random\n\nrng = random.Random(7)\n"
+
+
+def _capture():
+    lines = []
+    return lines, lines.append
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    target = tmp_path / "ok.py"
+    target.write_text(CLEAN_SOURCE)
+    lines, out = _capture()
+    assert run_lint(paths=[str(target)], out=out) == 0
+    assert lines[-1] == "0 findings"
+
+
+def test_findings_exit_nonzero(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SOURCE)
+    lines, out = _capture()
+    assert run_lint(paths=[str(target)], out=out) == 1
+    assert any("det-unseeded-random" in line for line in lines)
+
+
+def test_missing_path_exits_two(tmp_path):
+    lines, out = _capture()
+    assert run_lint(paths=[str(tmp_path / "nope")], out=out) == 2
+    assert any("no such path" in line for line in lines)
+
+
+def test_json_report_schema(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SOURCE)
+    lines, out = _capture()
+    assert run_lint(paths=[str(target)], fmt="json", out=out) == 1
+    report = json.loads("\n".join(lines))
+    assert report["version"] == REPORT_VERSION
+    assert report["counts"] == {"new": 1, "suppressed": 0}
+    assert report["suppressed"] == []
+    (finding,) = report["findings"]
+    assert finding["rule"] == "det-unseeded-random"
+    assert finding["line"] == 3
+    assert finding["snippet"] == "jitter = random.random()"
+    assert finding["fingerprint"]
+
+
+def test_write_baseline_then_suppress(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SOURCE)
+    baseline = tmp_path / "lint-baseline.json"
+
+    lines, out = _capture()
+    assert (
+        run_lint(
+            paths=[str(target)],
+            baseline_path=str(baseline),
+            write_baseline=True,
+            out=out,
+        )
+        == 0
+    )
+    assert baseline.exists()
+    assert "grandfathered" in lines[-1]
+
+    # Grandfathered finding no longer fails the run...
+    lines, out = _capture()
+    assert (
+        run_lint(paths=[str(target)], baseline_path=str(baseline), out=out)
+        == 0
+    )
+    assert "suppressed by baseline" in lines[-1]
+
+    # ...but a new violation alongside it still does.
+    target.write_text(BAD_SOURCE + "more = random.randrange(4)\n")
+    lines, out = _capture()
+    assert (
+        run_lint(paths=[str(target)], baseline_path=str(baseline), out=out)
+        == 1
+    )
+    assert any("random.randrange" in line for line in lines)
+
+
+def test_corrupt_baseline_exits_two(tmp_path):
+    target = tmp_path / "ok.py"
+    target.write_text(CLEAN_SOURCE)
+    baseline = tmp_path / "b.json"
+    baseline.write_text("{broken")
+    lines, out = _capture()
+    assert (
+        run_lint(paths=[str(target)], baseline_path=str(baseline), out=out)
+        == 2
+    )
+
+
+def test_repository_tree_is_lint_clean():
+    """Acceptance: ``repro lint`` runs clean on the shipped source tree."""
+    lines, out = _capture()
+    code = run_lint(paths=[str(SRC / "repro")], out=out)
+    assert code == 0, "\n".join(lines)
+    assert lines[-1] == "0 findings"

@@ -1,0 +1,30 @@
+"""Local mirror of CI's strict typing gate (skips when mypy is absent).
+
+CI installs mypy and runs ``mypy -p repro.sched -p repro.analysis`` with
+the per-layer strictness configured in pyproject.toml; this test runs the
+identical command so the gate is reproducible offline too.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_strict_gate_on_sched_and_analysis():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "-p", "repro.sched", "-p", "repro.analysis"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
