@@ -1,0 +1,36 @@
+"""Benchmark: the fast-path layer's speedup claim (``repro bench``).
+
+The committed BENCH_sim.json trajectory records the full-length numbers;
+this smoke run exercises every registered macro-benchmark at --quick
+scale with the fast/baseline comparison on, prints the table, and pins
+the non-timing half of the claim: both modes simulate the identical
+schedule (same virtual horizon, same event and migration counts, same
+digest).  Wall-clock ratios are reported, not asserted -- shared CI
+runners make timing assertions flaky by construction.
+"""
+
+import pytest
+
+from repro.perf import benchmark_names, format_results, run_benchmark
+
+
+@pytest.mark.benchmark(group="perf")
+@pytest.mark.parametrize("name", benchmark_names())
+def test_bench_quick_compare(benchmark, report, name):
+    result = benchmark.pedantic(
+        lambda: run_benchmark(name, quick=True, compare=True),
+        rounds=1,
+        iterations=1,
+    )
+    report(f"repro bench {name} (--quick --compare)",
+           format_results([result]))
+    benchmark.extra_info["speedup"] = round(result.speedup or 0.0, 2)
+    benchmark.extra_info["events_per_sec"] = round(
+        result.fast.events_per_sec
+    )
+    # Identical schedules in both modes; only wall-clock may differ.
+    assert result.digest_match is True
+    assert result.fast.sim_us == result.baseline.sim_us
+    assert result.fast.events_fired == result.baseline.events_fired
+    assert result.fast.balance_calls == result.baseline.balance_calls
+    assert result.fast.migrations == result.baseline.migrations

@@ -17,6 +17,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.flags import FeatureFlagRule
 from repro.analysis.rules.layering import LayeringRule, layering_rules
+from repro.analysis.rules.perf import LoadBypassRule
 from repro.analysis.rules.tracepoints import TracepointConsistencyRule
 
 
@@ -27,6 +28,7 @@ def default_rules() -> List[Rule]:
         WallClockRule(),
         SetIterationRule(),
         FeatureFlagRule(),
+        LoadBypassRule(),
         TracepointConsistencyRule(),
     ]
     rules.extend(layering_rules())
@@ -40,6 +42,7 @@ __all__ = [
     "SetIterationRule",
     "FeatureFlagRule",
     "LayeringRule",
+    "LoadBypassRule",
     "layering_rules",
     "TracepointConsistencyRule",
 ]

@@ -1,0 +1,81 @@
+"""Fast-path discipline: load reads must go through the cached accessors.
+
+The incremental load-tracking layer (``repro.sched.runqueue`` /
+``repro.sched.load``) works because every consumer observes load through
+``RunQueue.load(now)`` and ``Task.load(now)``: those accessors decay the
+utilization average to *now*, apply the cgroup divisor, and hit the
+per-runqueue memo.  Code that reads the underlying tracker fields
+directly sees a value frozen at the last update -- stale by up to a
+tick -- and silently diverges from what the balancer computes, the
+exact class of bug the ``fastpath`` determinism contract (byte-identical
+schedules with caching on or off) exists to prevent.
+
+``perf-load-bypass`` flags, inside ``repro.sched``/``repro.sim``:
+
+* ``.tracker.util`` / ``.tracker.last_update_us`` reads outside the two
+  modules that own the representation (``repro.sched.task`` decays it,
+  ``repro.sched.load`` defines it).  Calling ``.tracker.update(...)`` /
+  ``.tracker.peek(...)`` remains legal everywhere: advancing the average
+  is how accounting works; bypassing the decay is the bug.
+* ``._cached_load*`` reads outside ``repro.sched.runqueue`` -- the memo
+  cells are internal to the cache keyed by (now, mutations, divisor
+  epoch); reading one elsewhere trades a consistency guarantee for a
+  stale float.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+#: Modules that own the tracker representation and may read its fields.
+_TRACKER_OWNERS = ("repro.sched.task", "repro.sched.load")
+
+#: The one module allowed to touch the runqueue load-memo cells.
+_CACHE_OWNER = "repro.sched.runqueue"
+
+#: Tracker fields whose direct read bypasses decay-to-now.
+_TRACKER_FIELDS = ("util", "last_update_us")
+
+
+class LoadBypassRule(Rule):
+    """Flag raw load-field reads that bypass the cached accessors."""
+
+    rule_id = "perf-load-bypass"
+    description = (
+        "load must be read via RunQueue.load(now)/Task.load(now); raw "
+        "tracker or cache-cell reads observe stale values"
+    )
+    scope: Tuple[str, ...] = ("repro.sched", "repro.sim")
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if (
+                node.attr in _TRACKER_FIELDS
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "tracker"
+                and ctx.module not in _TRACKER_OWNERS
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"raw '.tracker.{node.attr}' read bypasses decay-to-"
+                    "now; call .load(now) (or tracker.peek(now, ...)) "
+                    "instead",
+                )
+            elif (
+                node.attr.startswith("_cached_load")
+                and ctx.module != _CACHE_OWNER
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"'.{node.attr}' is a load-memo cell private to "
+                    "repro.sched.runqueue; call RunQueue.load(now) instead",
+                )

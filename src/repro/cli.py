@@ -16,6 +16,8 @@
     python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
     python -m repro metrics <bug> [--variant buggy|fixed]
     python -m repro lint [paths ...] [--format json|text] [--baseline FILE]
+    python -m repro bench [--quick] [--compare] [--only NAME]
+                          [--out BENCH_sim.json] [--check-digests FILE]
     python -m repro --version
 """
 
@@ -277,6 +279,51 @@ def _cmd_lint(args) -> int:
     )
 
 
+def _cmd_bench(args) -> int:
+    """Run the deterministic macro-benchmarks (see repro.perf)."""
+    from repro.perf import (
+        append_run,
+        benchmark_names,
+        check_digests,
+        format_results,
+        run_benchmark,
+    )
+
+    names = args.only or benchmark_names()
+    unknown = [n for n in names if n not in benchmark_names()]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)} "
+              f"(known: {', '.join(benchmark_names())})", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        print(f"running {name}{' (quick)' if args.quick else ''} ...",
+              file=sys.stderr)
+        results.append(
+            run_benchmark(name, quick=args.quick, compare=args.compare)
+        )
+    print(format_results(results))
+
+    status = 0
+    if any(r.digest_match is False for r in results):
+        status = 1
+    if args.check_digests:
+        mismatches = check_digests(args.check_digests, results)
+        for name, stored, fresh in mismatches:
+            print(
+                f"DIGEST DRIFT: {name}: stored {stored[:16]}... != "
+                f"fresh {fresh[:16]}... (schedule changed since "
+                f"{args.check_digests})"
+            )
+            status = 1
+        if not mismatches:
+            print(f"digests match {args.check_digests}")
+    if args.out:
+        append_run(args.out, results, label=args.label)
+        print(f"appended run to {args.out}")
+    return status
+
+
 def _version() -> str:
     """Package version, from installed metadata when available."""
     try:
@@ -386,6 +433,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings as the new baseline and exit 0",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "bench",
+        help="deterministic macro-benchmarks of the simulator fast paths",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="shortened horizons for CI smoke runs",
+    )
+    p.add_argument(
+        "--compare", action="store_true",
+        help="also measure with the fast paths disabled and report the "
+        "speedup plus a fast-vs-baseline schedule-digest check",
+    )
+    p.add_argument(
+        "--only", nargs="*", default=None, metavar="NAME",
+        help="run only these benchmarks (default: all)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append results to this BENCH_*.json trajectory file",
+    )
+    p.add_argument(
+        "--check-digests", default=None, metavar="FILE",
+        help="compare fresh schedule digests against the most recent run "
+        "stored in FILE; exit 1 on drift",
+    )
+    p.add_argument(
+        "--label", default="",
+        help="label recorded with the appended run (e.g. a commit sha)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("demo", help="run one bug's live demo")
     p.add_argument("bug", type=_bug_name, metavar="bug")

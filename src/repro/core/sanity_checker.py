@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.core.invariant import Violation, find_violations
+from repro.core.invariant import Violation, find_violations, has_violation
 from repro.core.profiler import BalanceProfiler
 from repro.obs.tracepoints import TRACEPOINTS
 from repro.sim.timebase import MS, SEC
@@ -192,11 +192,18 @@ class SanityChecker:
 
     def _monitor_tick(self, now: int) -> None:
         assert self._system is not None and self._monitor_probe is not None
+        if now < self._window_end_us:
+            # Mid-window ticks only need "did the scheduler recover at
+            # least once?" -- the early-exit check suffices, and once the
+            # sticky cleared flag is set there is nothing left to learn.
+            if not self._cleared_during_window and not has_violation(
+                self._system.scheduler, now
+            ):
+                self._cleared_during_window = True
+            return
         violations = find_violations(self._system.scheduler, now)
         if not violations:
             self._cleared_during_window = True
-        if now < self._window_end_us:
-            return
         # Window over: decide.
         monitor = self._monitor_probe.summary
         self._teardown_window()

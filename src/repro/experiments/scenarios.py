@@ -84,13 +84,19 @@ def build_bug_scenario(
     variant: str = "buggy",
     seed: int = 42,
     instrument: Optional[Callable[[System], None]] = None,
+    features_transform: Optional[
+        Callable[[SchedFeatures], SchedFeatures]
+    ] = None,
 ) -> BugScenario:
     """Build one bug's minimal scenario, sanity checker attached.
 
     ``variant`` is ``"buggy"`` (mainline behavior) or ``"fixed"`` (the
     paper's patch enabled).  ``instrument`` runs after the system exists
     but before any task spawns, so observers (``ObsSession``, trace
-    probes) see the run from time zero.
+    probes) see the run from time zero.  ``features_transform`` maps the
+    scenario's final feature set to a variant -- the bench harness uses it
+    to toggle the simulator fast paths (``with_fastpath``) without
+    touching the scheduling behavior under test.
     """
     bug = canonical_bug_name(bug)
     if variant not in ("buggy", "fixed"):
@@ -103,6 +109,8 @@ def build_bug_scenario(
         features = features.without_autogroup()
     if variant == "fixed":
         features = features.with_fixes(BUG_FIXES[bug])
+    if features_transform is not None:
+        features = features_transform(features)
     if bug == "group-construction":
         # Needs the 8-node machine: the bug is in how its asymmetric
         # interconnect is folded into machine-level scheduling groups.

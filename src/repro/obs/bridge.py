@@ -58,6 +58,11 @@ class ProbeTracepointBridge(Probe):
         if tp.enabled:
             tp.emit(now, cpu=cpu, load=load)
 
+    def wants_rq_load(self) -> bool:
+        # The runqueue skips the load summation when the tracepoint has no
+        # subscriber -- the compiled-in-but-not-traced path must stay free.
+        return self._tp_rq_load.enabled
+
     def on_considered(
         self, now: int, cpu: int, op: str, considered: Iterable[int]
     ) -> None:

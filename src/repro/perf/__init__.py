@@ -1,0 +1,41 @@
+"""Performance harness: deterministic macro-benchmarks of the simulator.
+
+The fast paths this package measures (``repro bench``) are the incremental
+load tracking, single-pass balance statistics, and event-loop compaction
+behind :meth:`repro.sched.features.SchedFeatures.with_fastpath`.  Each
+benchmark runs the same seeded scenario in *fast* (all fast paths on,
+the default feature set) and optionally *baseline* (all fast paths off,
+reproducing the historical implementations) mode, and a short traced run
+digests the schedule so the two modes can be proven byte-identical.
+
+Results append to a ``BENCH_*.json`` trajectory file, so the measured
+speedups (and the determinism digests) are tracked over the repository's
+history.  Wall-clock reads are legal here: this package is outside the
+simulation hot scope the ``det-wallclock`` lint rule protects.
+"""
+
+from repro.perf.bench import (
+    BENCHMARKS,
+    BenchResult,
+    ModeMetrics,
+    benchmark_names,
+    run_benchmark,
+)
+from repro.perf.store import (
+    append_run,
+    check_digests,
+    format_results,
+    load_trajectory,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "ModeMetrics",
+    "benchmark_names",
+    "run_benchmark",
+    "append_run",
+    "check_digests",
+    "format_results",
+    "load_trajectory",
+]

@@ -1,0 +1,347 @@
+"""The macro-benchmarks behind ``repro bench``.
+
+Three workloads cover the simulator's hot paths from different angles:
+
+* ``table4`` -- the end-to-end bug sweep: all four paper bugs, buggy and
+  fixed variants, sanity checker attached.  Dominated by the periodic
+  balancing and sanity-checking paths.
+* ``figure2`` -- the steady-state make+R workload of the Group Imbalance
+  study, run long.  Dominated by load tracking and tick accounting.
+* ``soak64`` -- a 64-core machine with a mixed hog/sleeper population.
+  Dominated by the NOHZ sweep and event-loop churn (sleep/wake timers).
+
+Every benchmark is seeded and runs a fixed simulated horizon, so the two
+measurement modes execute the *same schedule*; only wall-clock differs.
+A short traced companion run produces a SHA-256 digest of the schedule
+(integer/string event fields only, so the digest is stable across float
+formatting differences) which must be identical with the fast paths on
+and off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.scenarios import BUG_NAMES, build_bug_scenario
+from repro.sched.features import SchedFeatures
+from repro.sim.system import System
+from repro.sim.timebase import MS, SEC
+from repro.topology import amd_bulldozer_64
+from repro.viz.events import TraceBuffer, TraceProbe
+from repro.workloads.base import Run, Sleep, TaskSpec
+
+
+@dataclass
+class ModeMetrics:
+    """What one benchmark run in one mode measured."""
+
+    wall_seconds: float
+    sim_us: int
+    events_fired: int
+    balance_calls: int
+    migrations: int
+    heap_compactions: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_fired / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def balance_calls_per_sec(self) -> float:
+        return (
+            self.balance_calls / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "sim_us": self.sim_us,
+            "events_fired": self.events_fired,
+            "balance_calls": self.balance_calls,
+            "migrations": self.migrations,
+            "heap_compactions": self.heap_compactions,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "balance_calls_per_sec": round(self.balance_calls_per_sec, 1),
+        }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome across the measured modes."""
+
+    name: str
+    quick: bool
+    fast: ModeMetrics
+    baseline: Optional[ModeMetrics]
+    digest: str
+    #: True/False once both modes' digests were computed, None otherwise.
+    digest_match: Optional[bool]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.baseline is None or self.fast.wall_seconds == 0:
+            return None
+        return self.baseline.wall_seconds / self.fast.wall_seconds
+
+    def to_json(self) -> Dict[str, object]:
+        obj: Dict[str, object] = {
+            "name": self.name,
+            "quick": self.quick,
+            "fast": self.fast.to_json(),
+            "baseline": (
+                self.baseline.to_json() if self.baseline is not None else None
+            ),
+            "digest": self.digest,
+            "digest_match": self.digest_match,
+        }
+        speedup = self.speedup
+        obj["speedup"] = round(speedup, 2) if speedup is not None else None
+        return obj
+
+
+def _fastpath_transform(enabled: bool) -> Callable[[SchedFeatures], SchedFeatures]:
+    return lambda features: features.with_fastpath(enabled)
+
+
+def _hog(name: str) -> TaskSpec:
+    def factory():  # type: ignore[no-untyped-def]
+        def program():  # type: ignore[no-untyped-def]
+            while True:
+                yield Run(5 * MS)
+
+        return program()
+
+    return TaskSpec(name, factory)
+
+
+def _sleeper(name: str) -> TaskSpec:
+    def factory():  # type: ignore[no-untyped-def]
+        def program():  # type: ignore[no-untyped-def]
+            while True:
+                yield Run(1 * MS)
+                yield Sleep(2 * MS)
+
+        return program()
+
+    return TaskSpec(name, factory)
+
+
+@dataclass
+class _Totals:
+    wall_seconds: float = 0.0
+    sim_us: int = 0
+    events_fired: int = 0
+    balance_calls: int = 0
+    migrations: int = 0
+    heap_compactions: int = 0
+
+    def fold(self, system: System) -> None:
+        self.sim_us += system.now
+        self.events_fired += system.loop.events_fired
+        self.balance_calls += system.scheduler.balance_calls
+        self.migrations += system.scheduler.total_migrations
+        self.heap_compactions += system.loop.compactions
+
+
+def _run_table4(fastpath: bool, quick: bool) -> _Totals:
+    duration = 250 * MS if quick else 1 * SEC
+    totals = _Totals()
+    start = time.perf_counter()
+    for bug in BUG_NAMES:
+        for variant in ("buggy", "fixed"):
+            scenario = build_bug_scenario(
+                bug,
+                variant,
+                features_transform=_fastpath_transform(fastpath),
+            )
+            scenario.run(duration)
+            totals.fold(scenario.system)
+    totals.wall_seconds = time.perf_counter() - start
+    return totals
+
+
+def _run_figure2(fastpath: bool, quick: bool) -> _Totals:
+    duration = 400 * MS if quick else 2 * SEC
+    totals = _Totals()
+    start = time.perf_counter()
+    scenario = build_bug_scenario(
+        "group-imbalance",
+        "buggy",
+        features_transform=_fastpath_transform(fastpath),
+    )
+    scenario.run(duration)
+    totals.fold(scenario.system)
+    totals.wall_seconds = time.perf_counter() - start
+    return totals
+
+
+def _build_soak64(fastpath: bool) -> System:
+    features = SchedFeatures().with_fastpath(fastpath)
+    system = System(amd_bulldozer_64(), features, seed=7)
+    # 48 pinned-nowhere hogs forked from scattered parents plus 32
+    # sleepers: sustained balancing with constant timer churn (sleepers
+    # are what populate the event heap with cancellable wakeups).
+    for i in range(48):
+        system.spawn(_hog(f"hog{i}"), parent_cpu=(i * 7) % 64)
+    for i in range(32):
+        system.spawn(_sleeper(f"sleep{i}"), parent_cpu=(i * 5) % 64)
+    return system
+
+
+def _run_soak64(fastpath: bool, quick: bool) -> _Totals:
+    duration = 1 * SEC if quick else 10 * SEC
+    totals = _Totals()
+    start = time.perf_counter()
+    system = _build_soak64(fastpath)
+    system.run_for(duration)
+    totals.fold(system)
+    totals.wall_seconds = time.perf_counter() - start
+    return totals
+
+
+def _digest_records(buffer: TraceBuffer) -> str:
+    """SHA-256 over the integer/string fields of every trace record.
+
+    Floats (load samples) are excluded so the digest survives float
+    formatting and libm differences between hosts; everything ordering-
+    or schedule-related (timestamps, tids, cpus, event kinds) is hashed.
+    """
+    hasher = hashlib.sha256()
+    for record in buffer:
+        parts: List[str] = [type(record).__name__]
+        for name, value in sorted(vars(record).items()):
+            if isinstance(value, float):
+                continue
+            if isinstance(value, frozenset):
+                value = tuple(sorted(value))
+            parts.append(f"{name}={value!r}")
+        hasher.update("|".join(parts).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _digest_table4(fastpath: bool) -> str:
+    parts: List[str] = []
+    for bug in BUG_NAMES:
+        buffer = TraceBuffer()
+        probe = TraceProbe(buffer=buffer, record_load=False)
+        scenario = build_bug_scenario(
+            bug,
+            "buggy",
+            seed=1234,
+            instrument=lambda s: s.attach_probe(probe),
+            features_transform=_fastpath_transform(fastpath),
+        )
+        scenario.run(50 * MS)
+        parts.append(_digest_records(buffer))
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+
+def _digest_figure2(fastpath: bool) -> str:
+    buffer = TraceBuffer()
+    probe = TraceProbe(buffer=buffer, record_load=False)
+    scenario = build_bug_scenario(
+        "group-imbalance",
+        "fixed",
+        seed=99,
+        instrument=lambda s: s.attach_probe(probe),
+        features_transform=_fastpath_transform(fastpath),
+    )
+    scenario.run(100 * MS)
+    return _digest_records(buffer)
+
+
+def _digest_soak64(fastpath: bool) -> str:
+    buffer = TraceBuffer()
+    probe = TraceProbe(buffer=buffer, record_load=False)
+    system = _build_soak64(fastpath)
+    system.attach_probe(probe)
+    system.run_for(50 * MS)
+    return _digest_records(buffer)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered macro-benchmark."""
+
+    name: str
+    description: str
+    run: Callable[[bool, bool], _Totals] = field(repr=False)
+    digest: Callable[[bool], str] = field(repr=False)
+
+
+BENCHMARKS: Dict[str, BenchSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchSpec(
+            "table4",
+            "all four paper bugs, buggy+fixed, checker attached (1s each)",
+            _run_table4,
+            _digest_table4,
+        ),
+        BenchSpec(
+            "figure2",
+            "steady-state make+R group-imbalance workload (2s)",
+            _run_figure2,
+            _digest_figure2,
+        ),
+        BenchSpec(
+            "soak64",
+            "64-core mixed hog/sleeper soak (10s)",
+            _run_soak64,
+            _digest_soak64,
+        ),
+    )
+}
+
+
+def benchmark_names() -> List[str]:
+    return list(BENCHMARKS)
+
+
+def run_benchmark(
+    name: str,
+    quick: bool = False,
+    compare: bool = False,
+) -> BenchResult:
+    """Run one benchmark; with ``compare`` also measure the baseline mode.
+
+    The digest is always computed for the fast mode; with ``compare`` it
+    is recomputed with the fast paths off and the two are checked for
+    equality (the determinism contract of the optimization layer).
+    """
+    spec = BENCHMARKS[name]
+    fast_totals = spec.run(True, quick)
+    fast = ModeMetrics(
+        wall_seconds=fast_totals.wall_seconds,
+        sim_us=fast_totals.sim_us,
+        events_fired=fast_totals.events_fired,
+        balance_calls=fast_totals.balance_calls,
+        migrations=fast_totals.migrations,
+        heap_compactions=fast_totals.heap_compactions,
+    )
+    digest = spec.digest(True)
+    baseline: Optional[ModeMetrics] = None
+    digest_match: Optional[bool] = None
+    if compare:
+        base_totals = spec.run(False, quick)
+        baseline = ModeMetrics(
+            wall_seconds=base_totals.wall_seconds,
+            sim_us=base_totals.sim_us,
+            events_fired=base_totals.events_fired,
+            balance_calls=base_totals.balance_calls,
+            migrations=base_totals.migrations,
+            heap_compactions=base_totals.heap_compactions,
+        )
+        digest_match = spec.digest(False) == digest
+    return BenchResult(
+        name=name,
+        quick=quick,
+        fast=fast,
+        baseline=baseline,
+        digest=digest,
+        digest_match=digest_match,
+    )

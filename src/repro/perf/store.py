@@ -1,0 +1,153 @@
+"""BENCH_*.json trajectory files: persist, compare, and render bench runs.
+
+The trajectory is an append-only JSON document::
+
+    {
+      "version": 1,
+      "runs": [
+        {
+          "label": "pr3",
+          "quick": false,
+          "benchmarks": {
+            "table4": {
+              "name": "table4",
+              "quick": false,
+              "fast": {"wall_seconds": ..., "events_per_sec": ..., ...},
+              "baseline": {...} | null,
+              "speedup": 2.2 | null,
+              "digest": "<sha256 of the seeded schedule>",
+              "digest_match": true | false | null
+            },
+            ...
+          }
+        },
+        ...
+      ]
+    }
+
+Each CI run appends one entry, so the file records the speedup (and the
+determinism digest) over the repository's history.  ``check_digests``
+compares freshly measured digests against the most recent stored run: a
+mismatch means the schedule changed, which is either an intentional
+behavior change (re-baseline by committing the new file) or a
+determinism regression (fix it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.perf.bench import BenchResult, ModeMetrics
+
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def load_trajectory(path: PathLike) -> Dict[str, object]:
+    """Read a trajectory file; a missing file is an empty trajectory."""
+    p = Path(path)
+    if not p.exists():
+        return {"version": _VERSION, "runs": []}
+    with p.open() as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{p}: not a bench trajectory file")
+    return data
+
+
+def append_run(
+    path: PathLike,
+    results: Sequence[BenchResult],
+    label: str = "",
+) -> Dict[str, object]:
+    """Append one run (a set of benchmark results) to the trajectory."""
+    data = load_trajectory(path)
+    runs = data["runs"]
+    assert isinstance(runs, list)
+    runs.append(
+        {
+            "label": label,
+            "quick": any(r.quick for r in results),
+            "benchmarks": {r.name: r.to_json() for r in results},
+        }
+    )
+    p = Path(path)
+    with p.open("w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+def _latest_digests(data: Dict[str, object]) -> Dict[str, str]:
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return {}
+    latest = runs[-1]
+    digests: Dict[str, str] = {}
+    for name, bench in latest.get("benchmarks", {}).items():
+        digest = bench.get("digest")
+        if isinstance(digest, str):
+            digests[name] = digest
+    return digests
+
+
+def check_digests(
+    path: PathLike,
+    results: Sequence[BenchResult],
+) -> List[Tuple[str, str, str]]:
+    """Compare fresh digests against the most recent stored run.
+
+    Returns ``(benchmark, stored, fresh)`` for every mismatch.
+    Benchmarks absent from the stored run are ignored (new benchmarks
+    have no baseline to regress against).
+    """
+    stored = _latest_digests(load_trajectory(path))
+    mismatches: List[Tuple[str, str, str]] = []
+    for result in results:
+        expected = stored.get(result.name)
+        if expected is not None and expected != result.digest:
+            mismatches.append((result.name, expected, result.digest))
+    return mismatches
+
+
+def format_results(results: Sequence[BenchResult]) -> str:
+    """Render results as an aligned text table."""
+    header = (
+        "benchmark", "mode", "wall(s)", "events/s", "balance/s", "speedup",
+    )
+    rows: List[Tuple[str, ...]] = [header]
+    for result in results:
+        modes: List[Tuple[str, ModeMetrics]] = [("fast", result.fast)]
+        if result.baseline is not None:
+            modes.append(("baseline", result.baseline))
+        for mode_name, metrics in modes:
+            speedup = result.speedup
+            rows.append(
+                (
+                    result.name if mode_name == "fast" else "",
+                    mode_name,
+                    f"{metrics.wall_seconds:.3f}",
+                    f"{metrics.events_per_sec:,.0f}",
+                    f"{metrics.balance_calls_per_sec:,.0f}",
+                    (
+                        f"{speedup:.2f}x"
+                        if mode_name == "fast" and speedup is not None
+                        else ""
+                    ),
+                )
+            )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    for result in results:
+        if result.digest_match is False:
+            lines.append(
+                f"DIGEST MISMATCH: {result.name} schedules differ between "
+                "fast and baseline modes"
+            )
+    return "\n".join(lines)

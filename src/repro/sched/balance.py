@@ -21,12 +21,29 @@ steal is always justified.
 Also here: ``newidle_balance`` ("emergency" balancing when a core is about
 to idle) and the NOHZ machinery that lets tickless idle cores be balanced on
 behalf of (Section 2.2.2).
+
+A rebalance invocation reads every CPU's (load, nr_running) once per domain
+level per group -- quadratic re-reads in the domain depth.  A
+:class:`BalancePass` collects those per-CPU samples once into flat arrays
+keyed by cpu id and folds every group's stats from them, memoized until a
+migration dirties the load epoch.  The folds use the identical expressions
+(and float-op order) as the uncached path, so balancing decisions -- and
+therefore traces -- are byte-identical with the pass on or off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.domains import SchedDomain, SchedGroup
@@ -72,17 +89,152 @@ def group_metric(sched: "Scheduler", stats: GroupStats) -> float:
     return stats.avg_load
 
 
-def compute_group_stats(
-    sched: "Scheduler", group: "SchedGroup", now: int
-) -> Optional[GroupStats]:
-    """Per-CPU loads folded into group statistics; None if no CPU is online."""
-    cpus = tuple(
-        sorted(c for c in group.cpus if sched.cpu(c).online)
+class BalancePass:
+    """Per-CPU (load, nr_running) samples shared across one rebalance pass.
+
+    Samples fill flat arrays indexed by cpu id, lazily; each slot carries
+    the runqueue mutation count it was sampled at, so a migration this
+    very pass triggers re-samples only the two queues it touched.  Group
+    stats are memoized per group with a member-mutation signature, and the
+    designated-balancer memo keys off the idle epoch (elections read only
+    online/idle flags).  One instance serves a whole tick: every
+    designated CPU's domain walk *and* the NOHZ balancer's sweep over all
+    idle CPUs reuse the same samples, since they all observe the same
+    timestamp.
+    """
+
+    __slots__ = (
+        "sched", "now", "_idle_epoch", "_div_epoch", "_loads", "_nrs",
+        "_muts", "_groups", "_designated",
     )
+
+    def __init__(self, sched: "Scheduler", now: int):
+        self.sched = sched
+        self.now = now
+        n = len(sched.cpus)
+        self._idle_epoch = -1
+        self._div_epoch = sched.divisor_epoch.value
+        self._loads = [0.0] * n
+        self._nrs = [0] * n
+        #: Mutation count each slot was sampled at; -1 = never sampled.
+        self._muts = [-1] * n
+        # Memos are keyed by group identity: dataclass hashing of a
+        # SchedGroup hashes its frozensets on every lookup, which shows up
+        # in profiles.  Storing the group in the value keeps it alive, so
+        # an id can never be recycled while its entry exists.  Groups are
+        # interned per rebuild (DomainBuilder._make_group), so the same id
+        # recurs across every CPU's domain walk and the memos are shared
+        # between perspectives.  Entries are [group, stats, signature,
+        # epoch]: the signature is the members' mutation counts at fold
+        # time, the epoch the global load epoch the entry was last
+        # validated at (when it is current, even the signature walk is
+        # skipped).
+        self._groups: Dict[
+            int, List[object]
+        ] = {}
+        self._designated: Dict[int, Tuple["SchedGroup", int]] = {}
+
+    def _refresh(self) -> None:
+        # A cgroup divisor change re-weights loads without any runqueue
+        # event, so it drops every sample and fold.  (It cannot actually
+        # happen mid-pass -- attach/detach run from the event loop, not
+        # from tick or balance code -- but the guard costs one compare.)
+        div = self.sched.divisor_epoch.value
+        if div != self._div_epoch:
+            self._div_epoch = div
+            self._muts = [-1] * len(self._muts)
+            self._groups.clear()
+        # The designated election reads only online/idle flags, so its
+        # memo survives ordinary load churn and is dropped only when some
+        # CPU crossed the idle<->busy boundary (or was hotplugged).
+        idle = self.sched.idle_epoch.value
+        if idle != self._idle_epoch:
+            self._idle_epoch = idle
+            self._designated.clear()
+
+    def cpu_load_nr(self, cpu_id: int) -> Tuple[float, int]:
+        """This CPU's (load, nr_running) at the pass timestamp."""
+        self._refresh()
+        rq = self.sched.cpus[cpu_id].rq
+        mut = rq.mutations
+        if self._muts[cpu_id] != mut:
+            self._loads[cpu_id] = rq.load(self.now)
+            # The incremental counter is maintained (and exact) in every
+            # mode; reading it directly skips a property dispatch on the
+            # hottest sampling path.
+            self._nrs[cpu_id] = rq._nr_running
+            self._muts[cpu_id] = mut
+        return self._loads[cpu_id], self._nrs[cpu_id]
+
+    def _signature(self, group: "SchedGroup") -> Tuple[int, ...]:
+        cpus = self.sched.cpus
+        return tuple(cpus[c].rq.mutations for c in group.sorted_cpus())
+
+    def group_stats(self, group: "SchedGroup") -> Optional[GroupStats]:
+        """Memoized :func:`compute_group_stats` for this pass.
+
+        A memoized fold stays valid exactly while no member queue mutated
+        (checked via the signature), so churn on one node never refolds
+        another node's groups.
+        """
+        self._refresh()
+        epoch = self.sched.load_epoch.value
+        entry = self._groups.get(id(group))
+        sig: Optional[Tuple[int, ...]] = None
+        if entry is not None:
+            if entry[3] == epoch:
+                return entry[1]  # type: ignore[return-value]
+            sig = self._signature(group)
+            if entry[2] == sig:
+                entry[3] = epoch
+                return entry[1]  # type: ignore[return-value]
+        stats = _fold_group_stats(self.sched, group, self.now, self)
+        if sig is None:
+            sig = self._signature(group)
+        self._groups[id(group)] = [group, stats, sig, epoch]
+        return stats
+
+    def designated_for(self, group: "SchedGroup") -> int:
+        """Memoized designated-balancer election for one local group."""
+        mask = group.sorted_balance_mask()
+        if len(mask) == 1:
+            # A one-CPU mask (bottom-level groups) elects itself whether
+            # idle or busy; no memo traffic needed.
+            only = mask[0]
+            return only if self.sched.cpus[only].online else -1
+        self._refresh()
+        entry = self._designated.get(id(group))
+        if entry is not None:
+            return entry[1]
+        winner = _elect_designated(self.sched, group)
+        self._designated[id(group)] = (group, winner)
+        return winner
+
+
+def _fold_group_stats(
+    sched: "Scheduler",
+    group: "SchedGroup",
+    now: int,
+    bpass: Optional[BalancePass],
+) -> Optional[GroupStats]:
+    """Fold per-CPU samples into one group's statistics.
+
+    The fold mirrors the historical implementation expression for
+    expression (same float-op order) so cached and uncached passes agree
+    bit for bit.  The group's CPU tuple is already sorted (cached on the
+    group; hotplug rebuilds make fresh groups), leaving only the online
+    filter per call.
+    """
+    cpus = tuple(c for c in group.sorted_cpus() if sched.cpu(c).online)
     if not cpus:
         return None
-    loads = [sched.cpu(c).rq.load(now) for c in cpus]
-    nrs = [sched.cpu(c).rq.nr_running for c in cpus]
+    if bpass is not None:
+        samples = [bpass.cpu_load_nr(c) for c in cpus]
+        loads = [s[0] for s in samples]
+        nrs = [s[1] for s in samples]
+    else:
+        loads = [sched.cpu(c).rq.load(now) for c in cpus]
+        nrs = [sched.cpu(c).rq.nr_running for c in cpus]
     return GroupStats(
         group=group,
         cpus=cpus,
@@ -96,11 +248,24 @@ def compute_group_stats(
     )
 
 
+def compute_group_stats(
+    sched: "Scheduler",
+    group: "SchedGroup",
+    now: int,
+    bpass: Optional[BalancePass] = None,
+) -> Optional[GroupStats]:
+    """Per-CPU loads folded into group statistics; None if no CPU is online."""
+    if bpass is not None:
+        return bpass.group_stats(group)
+    return _fold_group_stats(sched, group, now, None)
+
+
 def find_busiest_group(
     sched: "Scheduler",
     domain: "SchedDomain",
     dst_cpu: int,
     now: int,
+    bpass: Optional[BalancePass] = None,
 ) -> Tuple[Optional[GroupStats], Optional[GroupStats]]:
     """(busiest, local) group stats for a balancing attempt.
 
@@ -113,7 +278,7 @@ def find_busiest_group(
     others: List[GroupStats] = []
     examined: List[int] = []
     for group in domain.groups:
-        stats = compute_group_stats(sched, group, now)
+        stats = compute_group_stats(sched, group, now, bpass)
         if stats is None:
             continue
         examined.extend(stats.cpus)
@@ -247,9 +412,10 @@ def balance_domain(
     domain: "SchedDomain",
     dst_cpu: int,
     now: int,
+    bpass: Optional[BalancePass] = None,
 ) -> int:
     """One balancing attempt at one domain level (Lines 10-23)."""
-    busiest, local = find_busiest_group(sched, domain, dst_cpu, now)
+    busiest, local = find_busiest_group(sched, domain, dst_cpu, now, bpass)
     local_metric = group_metric(sched, local) if local is not None else 0.0
     if busiest is None:
         sched.probe.on_balance(
@@ -281,8 +447,41 @@ def balance_domain(
         excluded.add(src_cpu)
 
 
+def _elect_designated(sched: "Scheduler", group: "SchedGroup") -> int:
+    # Fast-path election: the mask is pre-sorted on the group (no per-call
+    # sort); one walk finds the first idle candidate and remembers the
+    # first online one.  Reads the incremental nr_running counter directly
+    # (exact in every mode) instead of chaining two properties.
+    cpus = sched.cpus
+    first_online = -1
+    for candidate in group.sorted_balance_mask():
+        cpu = cpus[candidate]
+        if not cpu.online:
+            continue
+        if cpu.rq._nr_running == 0:
+            return candidate
+        if first_online < 0:
+            first_online = candidate
+    return first_online
+
+
+def _elect_designated_baseline(sched: "Scheduler", group: "SchedGroup") -> int:
+    # Historical implementation, kept verbatim for the fast-paths-off mode
+    # so `repro bench --compare` measures against pre-optimization costs.
+    online = sorted(
+        c for c in group.balance_mask() if sched.cpu(c).online
+    )
+    for candidate in online:
+        if sched.cpu(candidate).is_idle:
+            return candidate
+    return online[0] if online else -1
+
+
 def designated_cpu(
-    sched: "Scheduler", domain: "SchedDomain", cpu_id: int
+    sched: "Scheduler",
+    domain: "SchedDomain",
+    cpu_id: int,
+    bpass: Optional[BalancePass] = None,
 ) -> int:
     """The core responsible for balancing this domain (Lines 2-6).
 
@@ -297,17 +496,17 @@ def designated_cpu(
         local = domain.local_group(cpu_id)
     except ValueError:
         return -1
-    online = sorted(
-        c for c in local.balance_mask() if sched.cpu(c).online
-    )
-    for candidate in online:
-        if sched.cpu(candidate).is_idle:
-            return candidate
-    return online[0] if online else -1
+    if bpass is not None:
+        return bpass.designated_for(local)
+    return _elect_designated_baseline(sched, local)
 
 
 def periodic_balance(
-    sched: "Scheduler", cpu_id: int, now: int, force: bool = False
+    sched: "Scheduler",
+    cpu_id: int,
+    now: int,
+    force: bool = False,
+    bpass: Optional[BalancePass] = None,
 ) -> int:
     """Run Algorithm 1 for one CPU across all its domains, bottom-up.
 
@@ -319,20 +518,38 @@ def periodic_balance(
     domains = sched.domain_builder.domains_of(cpu_id)
     while len(cpu.next_balance_us) < len(domains):
         cpu.next_balance_us.append(-1)
+    memo = cpu.designated_memo
+    while len(memo) < len(domains):
+        memo.append([-1, -1])
     for domain in domains:
-        if cpu_id != designated_cpu(sched, domain, cpu_id):
-            continue
+        # Interval gate first: a level that is not due yet skips the
+        # designated-CPU election entirely (the election only reads
+        # idle/online state, so skipping it is unobservable).  A level
+        # never balanced before (stamp < 0) is immediately due: domains
+        # were created long "before" the workload (the machine has been
+        # up), so the first interval has long expired.
         stamp = cpu.next_balance_us[domain.level]
-        if stamp < 0:
-            # A level never balanced before is immediately due: domains
-            # were created long "before" the workload (the machine has
-            # been up), so the first interval has long expired.
-            stamp = now
-        if not force and now < stamp:
-            cpu.next_balance_us[domain.level] = stamp
+        if not force and 0 <= stamp and now < stamp:
+            continue
+        if bpass is not None:
+            # Elections depend only on idle/online flags, so a per-level
+            # memo on the Cpu stays valid across ticks until some CPU
+            # crosses the idle<->busy boundary.  Re-read the epoch per
+            # level: balancing the level below may have migrated work.
+            slot = memo[domain.level]
+            idle_epoch = sched.idle_epoch.value
+            if slot[0] == idle_epoch:
+                winner = slot[1]
+            else:
+                winner = designated_cpu(sched, domain, cpu_id, bpass)
+                slot[0] = idle_epoch
+                slot[1] = winner
+        else:
+            winner = designated_cpu(sched, domain, cpu_id, None)
+        if cpu_id != winner:
             continue
         cpu.next_balance_us[domain.level] = now + domain.balance_interval_us
-        moved += balance_domain(sched, domain, cpu_id, now)
+        moved += balance_domain(sched, domain, cpu_id, now, bpass)
     return moved
 
 
@@ -343,9 +560,13 @@ def newidle_balance(sched: "Scheduler", cpu_id: int, now: int) -> int:
     work.  Uses the same ``find_busiest_group`` logic -- and therefore
     inherits the same bugs.
     """
+    bpass = (
+        BalancePass(sched, now)
+        if sched.features.perf_balance_stats else None
+    )
     moved = 0
     for domain in sched.domain_builder.domains_of(cpu_id):
-        moved += balance_domain(sched, domain, cpu_id, now)
+        moved += balance_domain(sched, domain, cpu_id, now, bpass)
         if moved:
             break
     return moved
@@ -359,17 +580,24 @@ def nohz_kick_target(sched: "Scheduler") -> Optional[int]:
     return None
 
 
-def nohz_idle_balance(sched: "Scheduler", balancer_cpu: int, now: int) -> int:
+def nohz_idle_balance(
+    sched: "Scheduler",
+    balancer_cpu: int,
+    now: int,
+    bpass: Optional[BalancePass] = None,
+) -> int:
     """Periodic balancing run by the NOHZ balancer for all tickless cores.
 
     The balancer core runs the load-balancing routine "for itself and on
     behalf of all tickless idle cores" -- each idle core is balanced from
-    its own perspective (steals land on that core).
+    its own perspective (steals land on that core).  All those
+    perspectives share one timestamp, so a shared :class:`BalancePass`
+    collapses their group-stats reads into one sampling sweep.
     """
     sched.cpu(balancer_cpu).nohz_balancer = True
     moved = 0
     for cpu in sched.cpus:
         if not cpu.online or not cpu.is_idle:
             continue
-        moved += periodic_balance(sched, cpu.cpu_id, now)
+        moved += periodic_balance(sched, cpu.cpu_id, now, bpass=bpass)
     return moved

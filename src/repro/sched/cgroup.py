@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
+from repro.sched.load import LoadEpoch
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.sched.task import Task
 
@@ -107,6 +109,25 @@ class CGroupManager:
         self.root = CGroup("root", is_root=True, metric=metric)
         self._autogroups: Dict[str, Autogroup] = {}
         self._groups: Dict[str, CGroup] = {"root": self.root}
+        #: Load-epoch counter shared with the scheduler's runqueues, if
+        #: bound.  Membership changes move the group divisor of *every*
+        #: member thread without touching any runqueue, so they must
+        #: invalidate the cached queue loads too.
+        self._load_epoch: Optional[LoadEpoch] = None
+        self._divisor_epoch: Optional[LoadEpoch] = None
+
+    def bind_load_epoch(
+        self,
+        epoch: LoadEpoch,
+        divisor_epoch: Optional[LoadEpoch] = None,
+    ) -> None:
+        """Share the scheduler's dirty counters (called at scheduler init).
+
+        ``divisor_epoch`` is the finer-grained counter the per-queue load
+        caches key on; membership changes bump both.
+        """
+        self._load_epoch = epoch
+        self._divisor_epoch = divisor_epoch
 
     def create_group(self, name: str) -> CGroup:
         """An explicit (non-auto) cgroup; raises on duplicate names."""
@@ -145,9 +166,17 @@ class CGroupManager:
             task.cgroup.discard(task)
         target.add(task)
         task.cgroup = target
+        if self._load_epoch is not None:
+            self._load_epoch.bump()
+        if self._divisor_epoch is not None:
+            self._divisor_epoch.bump()
 
     def detach(self, task: "Task") -> None:
         """Remove an exiting task from its group."""
         if task.cgroup is not None:
             task.cgroup.discard(task)
             task.cgroup = None
+            if self._load_epoch is not None:
+                self._load_epoch.bump()
+            if self._divisor_epoch is not None:
+                self._divisor_epoch.bump()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.sched.load import LoadEpoch
 from repro.sched.runqueue import RunQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -19,9 +20,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Cpu:
     """One logical CPU as the scheduler manages it."""
 
-    def __init__(self, cpu_id: int, probe: Optional["Probe"] = None):
+    def __init__(
+        self,
+        cpu_id: int,
+        probe: Optional["Probe"] = None,
+        load_epoch: Optional[LoadEpoch] = None,
+        load_cache: bool = True,
+        idle_epoch: Optional[LoadEpoch] = None,
+        divisor_epoch: Optional[LoadEpoch] = None,
+    ):
         self.cpu_id = cpu_id
-        self.rq = RunQueue(cpu_id, probe)
+        self.rq = RunQueue(
+            cpu_id, probe, load_epoch=load_epoch, load_cache=load_cache,
+            idle_epoch=idle_epoch, divisor_epoch=divisor_epoch,
+        )
         #: Hotplug state; offline CPUs host no tasks and join no domain.
         self.online = True
         #: Timestamp the CPU last became idle; None while busy.  CPUs boot
@@ -43,6 +55,9 @@ class Cpu:
         self.idle_time_us = 0
         #: Per-domain-level next periodic balance timestamps.
         self.next_balance_us: list = []
+        #: Per-domain-level [idle_epoch, winner] designated-CPU memo used
+        #: by the fast balancing path; valid while the idle epoch matches.
+        self.designated_memo: list = []
 
     @property
     def is_idle(self) -> bool:

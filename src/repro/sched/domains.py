@@ -25,6 +25,7 @@ Two of the paper's bugs live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.sched.features import SchedFeatures
@@ -54,8 +55,24 @@ class SchedGroup:
     def __len__(self) -> int:
         return len(self.cpus)
 
-    def sorted_cpus(self) -> Tuple[int, ...]:
+    @cached_property
+    def _cpus_sorted(self) -> Tuple[int, ...]:
+        # cached_property writes the instance __dict__ directly, which is
+        # legal on a frozen dataclass and safe here: ``cpus`` is immutable,
+        # and hotplug regeneration builds entirely new group objects (see
+        # DomainBuilder.rebuild), so a cached tuple can never go stale.
         return tuple(sorted(self.cpus))
+
+    @cached_property
+    def _balance_mask_sorted(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.balance_mask()))
+
+    def sorted_cpus(self) -> Tuple[int, ...]:
+        return self._cpus_sorted
+
+    def sorted_balance_mask(self) -> Tuple[int, ...]:
+        """The balance mask in CPU order (cached; hot in the balancer)."""
+        return self._balance_mask_sorted
 
     def balance_mask(self) -> FrozenSet[int]:
         """CPUs that may act as this group's designated balancer."""
@@ -89,12 +106,25 @@ class SchedDomain:
     #: damps migration ping-pong when loads cannot divide evenly.
     imbalance_ratio: float = 1.17
 
+    @cached_property
+    def _group_by_cpu(self) -> Dict[int, SchedGroup]:
+        # First-wins over the groups tuple, preserving the "first group
+        # containing the CPU" rule for overlapping NUMA groups.  Cached on
+        # the frozen instance (see SchedGroup._cpus_sorted for why that is
+        # safe): local_group is called on every balancing attempt.
+        mapping: Dict[int, SchedGroup] = {}
+        for group in self.groups:
+            for c in group.cpus:
+                if c not in mapping:
+                    mapping[c] = group
+        return mapping
+
     def local_group(self, cpu_id: int) -> SchedGroup:
         """The group containing ``cpu_id`` (the first one, on overlap)."""
-        for group in self.groups:
-            if cpu_id in group:
-                return group
-        raise ValueError(f"cpu {cpu_id} not in domain {self.name}")
+        group = self._group_by_cpu.get(cpu_id)
+        if group is None:
+            raise ValueError(f"cpu {cpu_id} not in domain {self.name}")
+        return group
 
     def __repr__(self) -> str:
         return (
@@ -120,6 +150,10 @@ class DomainBuilder:
         self.hotplug_happened = False
         #: Per-CPU bottom-up domain lists.
         self._domains: Dict[int, List[SchedDomain]] = {}
+        #: Rebuild-scoped intern pool of groups, keyed by membership.
+        self._group_pool: Dict[
+            Tuple[FrozenSet[int], Optional[FrozenSet[int]]], SchedGroup
+        ] = {}
         self.rebuild()
 
     # -- hotplug -----------------------------------------------------------
@@ -156,6 +190,13 @@ class DomainBuilder:
         paper describes.
         """
         self._domains = {}
+        # Equal groups are interned to one shared object per rebuild:
+        # every CPU of a node sees the *same* group instances, so
+        # per-object caches (sorted tuples, balance-pass memos) are shared
+        # across perspectives instead of recomputed 64 times.  A rebuild
+        # starts from an empty pool, which is exactly the hotplug
+        # invalidation the cached tuples rely on.
+        self._group_pool = {}
         drop_numa_levels = (
             self.hotplug_happened and not self.features.fix_missing_domains
         )
@@ -164,6 +205,20 @@ class DomainBuilder:
             if not drop_numa_levels:
                 domains.extend(self._build_cross_node(cpu_id, len(domains)))
             self._domains[cpu_id] = domains
+        self._group_pool = {}
+
+    def _make_group(
+        self,
+        cpus: FrozenSet[int],
+        balance_cpus: Optional[FrozenSet[int]] = None,
+    ) -> SchedGroup:
+        """Create-or-reuse a group with this exact membership."""
+        key = (cpus, balance_cpus)
+        group = self._group_pool.get(key)
+        if group is None:
+            group = SchedGroup(cpus, balance_cpus)
+            self._group_pool[key] = group
+        return group
 
     def domains_of(self, cpu_id: int) -> List[SchedDomain]:
         """Bottom-up domain list of one CPU (empty when offline)."""
@@ -193,7 +248,7 @@ class DomainBuilder:
         smt_span = self._online_in(sorted(topo.smt_siblings(cpu_id)))
         if topo.smt_width > 1 and len(smt_span) > 1:
             groups = tuple(
-                SchedGroup(frozenset([c])) for c in sorted(smt_span)
+                self._make_group(frozenset([c])) for c in sorted(smt_span)
             )
             domains.append(
                 SchedDomain(
@@ -214,10 +269,11 @@ class DomainBuilder:
                         continue
                     sibs = self._online_in(topo.smt_siblings(c)) & node_cpus
                     seen.update(sibs)
-                    group_list.append(SchedGroup(sibs))
+                    group_list.append(self._make_group(sibs))
             else:
                 group_list = [
-                    SchedGroup(frozenset([c])) for c in sorted(node_cpus)
+                    self._make_group(frozenset([c]))
+                    for c in sorted(node_cpus)
                 ]
             domains.append(
                 SchedDomain(
@@ -303,9 +359,9 @@ class DomainBuilder:
                 # Per-perspective groups carry a balance mask: only the
                 # seed node's CPUs may act as designated balancer.
                 mask = self._online_in(topo.cpus_of_node(seed)) or cpus
-                groups.append(SchedGroup(cpus, balance_cpus=mask))
+                groups.append(self._make_group(cpus, balance_cpus=mask))
             else:
-                groups.append(SchedGroup(cpus))
+                groups.append(self._make_group(cpus))
         return tuple(groups)
 
 

@@ -79,6 +79,17 @@ class SchedFeatures:
     #: Each domain level doubles the balance interval of the previous one.
     balance_interval_growth: int = 2
 
+    #: Simulator fast-path switches.  These change *how fast* the
+    #: simulation runs, never *what* it computes: every seeded trace is
+    #: byte-identical with them on or off (pinned by regression test), and
+    #: ``repro bench --compare`` quantifies the speedup by toggling them.
+    #: Memoize each runqueue's load summation per (timestamp, dirty epoch).
+    perf_load_cache: bool = True
+    #: Share per-CPU (load, nr_running) stats across one rebalance pass.
+    perf_balance_stats: bool = True
+    #: Compact the event heap when cancelled entries dominate.
+    perf_event_compaction: bool = True
+
     def with_fixes(self, *names: str) -> "SchedFeatures":
         """A copy with the named fixes enabled.
 
@@ -108,6 +119,20 @@ class SchedFeatures:
     def with_v43_load_metric(self) -> "SchedFeatures":
         """A copy using the Linux 4.3 reworked load metric."""
         return replace(self, load_metric="v43")
+
+    def with_fastpath(self, enabled: bool = True) -> "SchedFeatures":
+        """A copy with every simulator fast-path toggled together.
+
+        ``with_fastpath(False)`` is the bench harness's baseline mode: the
+        simulation recomputes everything from scratch, as the pre-fast-path
+        code did.
+        """
+        return replace(
+            self,
+            perf_load_cache=enabled,
+            perf_balance_stats=enabled,
+            perf_event_compaction=enabled,
+        )
 
     def describe(self) -> str:
         """One line per fix flag, kernel-boot-param style."""

@@ -23,6 +23,34 @@ UTIL_HALFLIFE_US = 32_000
 UTIL_TAU_US = UTIL_HALFLIFE_US / math.log(2.0)
 
 
+class LoadEpoch:
+    """A shared dirty counter for everything that can change a task's load.
+
+    One instance is shared by every runqueue of a scheduler and by its
+    cgroup manager.  Any mutation that can alter any queue's load -- a task
+    enqueued, dequeued, migrated, its running state flipped, or a cgroup
+    membership change (which moves the autogroup divisor of *every* member
+    thread, with no runqueue event at all) -- bumps the counter.
+
+    Caches key themselves by ``(now, epoch.value)``: a hit is guaranteed
+    fresh because nothing load-affecting happened since the cached
+    computation.  Invalidation is deliberately global and conservative; the
+    win comes from balance passes that read every queue several times at the
+    same timestamp between mutations.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+    def __repr__(self) -> str:
+        return f"LoadEpoch({self.value})"
+
+
 class LoadTracker:
     """Decaying CPU-utilization average for one task.
 

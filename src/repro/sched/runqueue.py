@@ -8,12 +8,22 @@ checker's invariant are defined over.
 The queue reports every ``nr_running`` and load change to an optional probe,
 mirroring the paper's instrumentation of ``add_nr_running`` /
 ``sub_nr_running`` and ``account_entity_enqueue``.
+
+``load(now)`` memoizes its per-task summation, keyed by ``(now, mutations,
+divisor epoch)``: the queue's private mutation counter is bumped by every
+local load-affecting change, and the shared divisor epoch by cgroup
+attach/detach (which re-weights member loads without any runqueue event).
+One CPU's churn therefore never dirties its siblings' caches.  A cache hit
+returns the *same float object* the miss produced -- the cached value is the
+plain summation, never a closed-form shortcut -- so traces are byte-identical
+with the cache on or off.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
+from repro.sched.load import LoadEpoch
 from repro.sched.rbtree import RBTree
 from repro.sched.task import Task, TaskState
 from repro.sched.timebase import SCHED_LATENCY_US
@@ -25,7 +35,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RunQueue:
     """The CFS runqueue of one CPU."""
 
-    def __init__(self, cpu_id: int, probe: Optional["Probe"] = None):
+    def __init__(
+        self,
+        cpu_id: int,
+        probe: Optional["Probe"] = None,
+        load_epoch: Optional[LoadEpoch] = None,
+        load_cache: bool = True,
+        idle_epoch: Optional[LoadEpoch] = None,
+        divisor_epoch: Optional[LoadEpoch] = None,
+    ):
         self.cpu_id = cpu_id
         self.probe = probe
         self._tree = RBTree()
@@ -33,12 +51,46 @@ class RunQueue:
         self.curr: Optional[Task] = None
         #: Monotonic floor for newcomers' vruntime.
         self.min_vruntime = 0
+        #: Shared dirty counter; every mutation bumps it (invalidating the
+        #: balance-pass memos of *all* queues sharing it, conservatively).
+        self.load_epoch = load_epoch if load_epoch is not None else LoadEpoch()
+        #: Shared counter bumped only on idle<->busy transitions (and
+        #: hotplug); the designated-balancer memo keys off it.
+        self.idle_epoch = idle_epoch if idle_epoch is not None else LoadEpoch()
+        #: Shared counter bumped when any cgroup divisor changes (an attach
+        #: or detach re-weights member loads without any runqueue event).
+        self.divisor_epoch = (
+            divisor_epoch if divisor_epoch is not None else LoadEpoch()
+        )
+        self._load_cache_enabled = load_cache
+        #: This queue's own mutation counter: unlike ``load_epoch`` it is
+        #: private, so one CPU's churn does not dirty its siblings' caches.
+        self.mutations = 0
+        #: Memo of the last load(now) summation, keyed by
+        #: (now, own mutations, divisor epoch).
+        self._cached_load_now = -1
+        self._cached_load_mut = -1
+        self._cached_load_div = -1
+        self._cached_load = 0.0
+        #: Incrementally-maintained mirrors of the tree + curr aggregates
+        #: (task weights are fixed at construction, so integer bookkeeping
+        #: is exact).  ``nr_running`` and ``total_weight`` are hot in the
+        #: balancer and the tick path.
+        self._nr_running = 0
+        self._total_weight = 0
+        #: Cache-hit/miss accounting (bench introspection).
+        self.load_cache_hits = 0
+        self.load_cache_misses = 0
 
     # -- size ----------------------------------------------------------------
 
     @property
     def nr_running(self) -> int:
         """Runnable tasks on this CPU, including the one executing."""
+        if self._load_cache_enabled:
+            return self._nr_running
+        # Baseline (fast path off) recounts from scratch, reproducing the
+        # pre-incremental implementation for `repro bench --compare`.
         return len(self._tree) + (1 if self.curr is not None else 0)
 
     @property
@@ -68,11 +120,23 @@ class RunQueue:
         task.cpu = self.cpu_id
         task.stats.last_enqueue_us = now
         self._tree.insert((task.vruntime, task.tid), task)
+        self._nr_running += 1
+        self._total_weight += task.weight
+        self.mutations += 1
+        if self._nr_running == 1:
+            self.idle_epoch.bump()
+        self.load_epoch.bump()
         self._notify(now)
 
     def dequeue(self, task: Task, now: int) -> None:
         """Remove a queued (not running) task from the tree."""
         self._tree.remove((task.vruntime, task.tid))
+        self._nr_running -= 1
+        self._total_weight -= task.weight
+        self.mutations += 1
+        if self._nr_running == 0:
+            self.idle_epoch.bump()
+        self.load_epoch.bump()
         self._notify(now)
 
     def requeue(self, task: Task, now: int) -> None:
@@ -82,11 +146,22 @@ class RunQueue:
 
     def set_current(self, task: Optional[Task], now: int) -> None:
         """Install (or clear) the task executing on this CPU."""
+        prev = self.curr
+        was_empty = self._nr_running == 0
+        if prev is not None:
+            self._nr_running -= 1
+            self._total_weight -= prev.weight
         self.curr = task
         if task is not None:
+            self._nr_running += 1
+            self._total_weight += task.weight
             task.state = TaskState.RUNNING
             task.cpu = self.cpu_id
             task.prev_cpu = self.cpu_id
+        self.mutations += 1
+        if was_empty != (self._nr_running == 0):
+            self.idle_epoch.bump()
+        self.load_epoch.bump()
         self._notify(now)
 
     def put_prev(self, task: Task, now: int) -> None:
@@ -97,6 +172,9 @@ class RunQueue:
         task.state = TaskState.RUNNABLE
         task.stats.last_enqueue_us = now
         self._tree.insert((task.vruntime, task.tid), task)
+        # The task set (and therefore load, nr_running, idleness) is
+        # unchanged -- curr merely moved into the tree -- so no epoch or
+        # mutation bump: every cached aggregate stays exactly valid.
         self._notify(now)
 
     # -- selection -------------------------------------------------------------
@@ -109,6 +187,12 @@ class RunQueue:
     def take(self, task: Task, now: int) -> Task:
         """Remove a specific waiting task (for migration or dispatch)."""
         self._tree.remove((task.vruntime, task.tid))
+        self._nr_running -= 1
+        self._total_weight -= task.weight
+        self.mutations += 1
+        if self._nr_running == 0:
+            self.idle_epoch.bump()
+        self.load_epoch.bump()
         self._notify(now)
         return task
 
@@ -141,17 +225,48 @@ class RunQueue:
         return tasks
 
     def load(self, now: Optional[int] = None) -> float:
-        """Combined load of every task on this queue (Figure 2b's metric)."""
-        return sum(task.load(now) for task in self.all_tasks())
+        """Combined load of every task on this queue (Figure 2b's metric).
+
+        O(1) on a cache hit: the summation is memoized per ``(now, epoch)``
+        and every load-affecting mutation bumps the shared epoch.  Misses
+        recompute the exact same per-task sum the uncached path uses, so
+        the returned floats are identical either way.
+        """
+        if now is None or not self._load_cache_enabled:
+            return sum(task.load(now) for task in self.all_tasks())
+        div = self.divisor_epoch.value
+        if (
+            self._cached_load_now == now
+            and self._cached_load_mut == self.mutations
+            and self._cached_load_div == div
+        ):
+            self.load_cache_hits += 1
+            return self._cached_load
+        value = sum(task.load(now) for task in self.all_tasks())
+        self._cached_load_now = now
+        self._cached_load_mut = self.mutations
+        self._cached_load_div = div
+        self._cached_load = value
+        self.load_cache_misses += 1
+        return value
 
     def total_weight(self) -> int:
-        """Sum of raw weights (used for timeslice computation)."""
+        """Sum of raw weights (used for timeslice computation).  O(1)."""
+        if self._load_cache_enabled:
+            return self._total_weight
         return sum(task.weight for task in self.all_tasks())
 
     def _notify(self, now: int) -> None:
-        if self.probe is not None:
-            self.probe.on_nr_running(now, self.cpu_id, self.nr_running)
-            self.probe.on_rq_load(now, self.cpu_id, self.load(now))
+        probe = self.probe
+        if probe is not None:
+            probe.on_nr_running(now, self.cpu_id, self.nr_running)
+            # The load summation is the expensive part of a notification;
+            # skip it entirely when no attached probe consumes load samples.
+            # Baseline mode computes it eagerly like the pre-fast-path code
+            # did; probes that ignore the sample produce the same trace, so
+            # the two modes stay byte-identical.
+            if not self._load_cache_enabled or probe.wants_rq_load():
+                probe.on_rq_load(now, self.cpu_id, self.load(now))
 
     def __repr__(self) -> str:
         return (

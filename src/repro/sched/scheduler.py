@@ -27,6 +27,7 @@ from repro.sched.cgroup import CGroupManager
 from repro.sched.cpu import Cpu
 from repro.sched.domains import DomainBuilder
 from repro.sched.features import SchedFeatures
+from repro.sched.load import LoadEpoch
 from repro.sched.task import Task, TaskState
 from repro.topology.machine import MachineTopology
 from repro.viz.events import Probe
@@ -49,8 +50,28 @@ class Scheduler:
             autogroup_enabled=self.features.autogroup_enabled,
             metric=self.features.load_metric,
         )
+        #: Machine-wide dirty counter for cached runqueue loads; shared by
+        #: every runqueue and the cgroup manager (divisor changes dirty
+        #: member loads without any runqueue event).
+        self.load_epoch = LoadEpoch()
+        #: Bumped only on idle<->busy transitions (and hotplug): the
+        #: designated-balancer election reads nothing else, so its memo
+        #: survives ordinary load churn.
+        self.idle_epoch = LoadEpoch()
+        #: Bumped when a cgroup divisor changes (attach/detach), dirtying
+        #: per-queue load caches without any runqueue event.
+        self.divisor_epoch = LoadEpoch()
+        self.cgroups.bind_load_epoch(self.load_epoch, self.divisor_epoch)
         self.cpus: List[Cpu] = [
-            Cpu(cpu_id, self.probe) for cpu_id in range(topology.num_cpus)
+            Cpu(
+                cpu_id,
+                self.probe,
+                load_epoch=self.load_epoch,
+                load_cache=self.features.perf_load_cache,
+                idle_epoch=self.idle_epoch,
+                divisor_epoch=self.divisor_epoch,
+            )
+            for cpu_id in range(topology.num_cpus)
         ]
         self.domain_builder = DomainBuilder(topology, self.features)
         #: Live tasks by tid.
@@ -273,6 +294,14 @@ class Scheduler:
         every idle CPU.
         """
         overloaded = False
+        # One stats pass serves every CPU balanced this tick (and the NOHZ
+        # sweep below): they all observe the same timestamp, so per-CPU
+        # samples and folded group stats carry across until a migration
+        # dirties the load epoch.
+        bpass = (
+            lb.BalancePass(self, now)
+            if self.features.perf_balance_stats else None
+        )
         for cpu in self.cpus:
             if not cpu.online:
                 continue
@@ -287,11 +316,11 @@ class Scheduler:
             if cfs.should_preempt_at_tick(self.features, cpu.rq, curr, ran):
                 self.pending_resched.add(cpu.cpu_id)
             self.balance_calls += 1
-            lb.periodic_balance(self, cpu.cpu_id, now)
+            lb.periodic_balance(self, cpu.cpu_id, now, bpass=bpass)
         if overloaded and self.features.nohz_idle_balance_enabled:
             balancer = lb.nohz_kick_target(self)
             if balancer is not None:
-                lb.nohz_idle_balance(self, balancer, now)
+                lb.nohz_idle_balance(self, balancer, now, bpass=bpass)
 
     # -- hotplug -------------------------------------------------------------------
 
@@ -321,6 +350,8 @@ class Scheduler:
             cpu.idle_since_us = now
             cpu.tickless = True
         self.domain_builder.set_cpu_online(cpu_id, online)
+        # Online-state changes alter designated-balancer elections.
+        self.idle_epoch.bump()
         return evicted
 
     # -- invariants ------------------------------------------------------------------

@@ -3,6 +3,14 @@
 Events firing at the same microsecond run in scheduling order (a
 monotonically increasing sequence number breaks ties), so a simulation with
 a fixed seed is fully reproducible.
+
+Cancellation is lazy (an entry is flagged, not removed), but the loop keeps
+itself honest about it: a live-event counter makes :meth:`EventLoop.pending`
+O(1), and when more than half of the heap is cancelled entries the heap is
+compacted in one pass.  Long NOHZ-heavy runs -- which cancel timer after
+timer -- therefore stop degrading as garbage accumulates.  Compaction only
+reorganizes the heap around the same ``(when, seq)`` total order, so the
+firing sequence is byte-identical with compaction on or off.
 """
 
 from __future__ import annotations
@@ -18,6 +26,10 @@ from repro.obs.tracepoints import TRACEPOINTS
 #: static tracepoint: one ``enabled`` branch when nobody listens.
 _TP_CALLBACK = TRACEPOINTS.tracepoint("engine.callback")
 
+#: Heaps smaller than this are never compacted: rebuilding them costs more
+#: than the dead entries do.
+_COMPACT_MIN_HEAP = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
@@ -26,13 +38,14 @@ class SimulationError(RuntimeError):
 class _Event:
     """A scheduled callback; cancellation just flags the entry (lazy delete)."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled", "label")
+    __slots__ = ("when", "seq", "callback", "cancelled", "fired", "label")
 
     def __init__(self, when: int, seq: int, callback: Callable[[], None], label: str):
         self.when = when
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.fired = False
         self.label = label
 
     def __lt__(self, other: "_Event") -> bool:
@@ -42,14 +55,23 @@ class _Event:
 class EventHandle:
     """Opaque handle returned by :meth:`EventLoop.schedule`; supports cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_loop")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, loop: "EventLoop"):
         self._event = event
+        self._loop = loop
 
     def cancel(self) -> None:
-        """Prevent the event from firing; safe to call more than once."""
-        self._event.cancelled = True
+        """Prevent the event from firing; safe to call more than once.
+
+        The loop's live counter is adjusted exactly once, no matter how
+        many times cancel is called, and never for an already-fired event.
+        """
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._loop._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -64,12 +86,20 @@ class EventHandle:
 class EventLoop:
     """A discrete-event loop over integer-microsecond virtual time."""
 
-    def __init__(self, start_time: int = 0):
+    def __init__(self, start_time: int = 0, compact: bool = True):
         self._now = start_time
         self._heap: list = []
         self._seq = itertools.count()
         self._events_fired = 0
         self._running = False
+        #: Live (scheduled, not cancelled, not fired) events.
+        self._live = 0
+        #: Cancelled entries still sitting in the heap (lazy deletes).
+        self._lazy_cancels = 0
+        #: Compact the heap when lazy cancels outnumber live entries.
+        self._compact_enabled = compact
+        #: Number of compaction passes performed (bench accounting).
+        self.compactions = 0
 
     @property
     def now(self) -> int:
@@ -109,7 +139,31 @@ class EventLoop:
             )
         event = _Event(when, next(self._seq), callback, label)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact when garbage dominates."""
+        self._live -= 1
+        self._lazy_cancels += 1
+        if (
+            self._compact_enabled
+            and len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._lazy_cancels * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        The heap invariant is rebuilt over the same ``(when, seq)`` keys,
+        so subsequent pops produce exactly the order lazy deletion would
+        have -- compaction is invisible to the simulation.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._lazy_cancels = 0
+        self.compactions += 1
 
     def run_until(self, deadline: int) -> None:
         """Fire events in order until ``deadline`` (inclusive) or exhaustion.
@@ -128,7 +182,10 @@ class EventLoop:
             while self._heap and self._heap[0].when <= deadline:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._lazy_cancels -= 1
                     continue
+                event.fired = True
+                self._live -= 1
                 self._now = event.when
                 self._events_fired += 1
                 if _TP_CALLBACK.enabled:
@@ -162,7 +219,10 @@ class EventLoop:
             while self._heap and self._heap[0].when <= deadline:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._lazy_cancels -= 1
                     continue
+                event.fired = True
+                self._live -= 1
                 self._now = event.when
                 self._events_fired += 1
                 if _TP_CALLBACK.enabled:
@@ -179,8 +239,12 @@ class EventLoop:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    def heap_size(self) -> int:
+        """Heap entries including lazy-cancelled garbage (introspection)."""
+        return len(self._heap)
 
     def __repr__(self) -> str:
         return (

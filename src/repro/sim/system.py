@@ -64,7 +64,8 @@ class System:
         # Tid allocation is process-global; restart it per system so two
         # same-seed runs in one process replay byte-identical traces.
         reset_tid_counter()
-        self.loop = EventLoop()
+        resolved = features if features is not None else SchedFeatures()
+        self.loop = EventLoop(compact=resolved.perf_event_compaction)
         if probe is None:
             # A fanout by default, so tools (sanity checker, tracers) can
             # attach and detach mid-run like the paper's on-demand profiler.

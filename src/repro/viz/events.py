@@ -133,6 +133,18 @@ class Probe:
     def on_rq_load(self, now: int, cpu: int, load: float) -> None:
         """Runqueue load changed."""
 
+    def wants_rq_load(self) -> bool:
+        """True when :meth:`on_rq_load` actually consumes its samples.
+
+        Computing a queue's load is the expensive half of a notification;
+        the runqueue asks first and skips the summation when nobody
+        listens.  The default detects an overridden ``on_rq_load``, so
+        custom probes get load samples without doing anything; probes that
+        can say "not right now" (a trace probe with ``record_load=False``,
+        an empty fanout) override this to decline.
+        """
+        return type(self).on_rq_load is not Probe.on_rq_load
+
     def on_considered(
         self, now: int, cpu: int, op: str, considered: Iterable[int]
     ) -> None:
@@ -258,6 +270,9 @@ class TraceProbe(Probe):
         if self.record_load:
             self.buffer.append(LoadEvent(now, cpu, load))
 
+    def wants_rq_load(self) -> bool:
+        return self.record_load
+
     def on_considered(
         self, now: int, cpu: int, op: str, considered: Iterable[int]
     ) -> None:
@@ -340,6 +355,14 @@ class FanoutProbe(Probe):
     def on_rq_load(self, now: int, cpu: int, load: float) -> None:
         for probe in self.probes:
             probe.on_rq_load(now, cpu, load)
+
+    def wants_rq_load(self) -> bool:
+        # Plain loop, not any(genexp): this runs on every runqueue
+        # notification and a generator allocation per call is measurable.
+        for probe in self.probes:
+            if probe.wants_rq_load():
+                return True
+        return False
 
     def on_considered(
         self, now: int, cpu: int, op: str, considered: Iterable[int]

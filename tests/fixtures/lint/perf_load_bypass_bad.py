@@ -1,0 +1,16 @@
+"""Fixture: raw load-field reads that bypass the cached accessors."""
+
+
+def stale_util(task):
+    # BAD: reads the utilization frozen at the last update.
+    return task.tracker.util * task.weight
+
+
+def stale_timestamp(task, now):
+    # BAD: age computed from the raw tracker timestamp.
+    return now - task.tracker.last_update_us
+
+
+def poke_cache(rq):
+    # BAD: memo cells are private to repro.sched.runqueue.
+    return rq._cached_load if rq._cached_load_now >= 0 else 0.0

@@ -1,0 +1,17 @@
+"""Fixture: the approved ways to observe and advance load."""
+
+
+def fresh_load(task, now):
+    # OK: the accessor decays to now and applies the cgroup divisor.
+    return task.load(now)
+
+
+def account(task, now):
+    # OK: advancing the average is accounting, not a bypassed read.
+    task.tracker.update(now, was_running=True)
+    return task.tracker.peek(now, False)
+
+
+def queue_load(rq, now):
+    # OK: the cached accessor owns the memo cells.
+    return rq.load(now)

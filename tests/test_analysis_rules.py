@@ -184,3 +184,37 @@ def test_tracepoint_cross_checks_need_declaration_module():
         [use], modules={use: "repro.sim.tracepoints_use"}
     )
     assert rule_ids(findings) == ["tp-dynamic-name"]
+
+
+# ------------------------------------------------------------ load fast paths
+
+
+def test_perf_load_bypass_bad():
+    findings = lint_fixture(
+        "perf_load_bypass_bad.py", "repro.sched.perf_load_bypass_bad"
+    )
+    # .tracker.util, .tracker.last_update_us, _cached_load, _cached_load_now
+    assert rule_ids(findings) == ["perf-load-bypass"] * 4
+
+
+def test_perf_load_bypass_ok():
+    findings = lint_fixture(
+        "perf_load_bypass_ok.py", "repro.sched.perf_load_bypass_ok"
+    )
+    assert findings == []
+
+
+def test_perf_load_bypass_owners_exempt():
+    # The representation owners may read their own fields.
+    findings = lint_fixture("perf_load_bypass_bad.py", "repro.sched.task")
+    assert rule_ids(findings) == ["perf-load-bypass"] * 2  # cache cells only
+    findings = lint_fixture("perf_load_bypass_bad.py", "repro.sched.runqueue")
+    assert rule_ids(findings) == ["perf-load-bypass"] * 2  # tracker only
+
+
+def test_perf_load_bypass_out_of_scope():
+    # Experiments/analysis code may inspect whatever it likes.
+    findings = lint_fixture(
+        "perf_load_bypass_bad.py", "repro.experiments.perf_load_bypass_bad"
+    )
+    assert findings == []

@@ -15,11 +15,24 @@ from repro.sim.timebase import MS
 from repro.viz.events import TraceBuffer, TraceProbe
 
 
-def _trace(bug: str, seed: int, duration_us: int, variant: str = "buggy"):
+def _trace(
+    bug: str,
+    seed: int,
+    duration_us: int,
+    variant: str = "buggy",
+    fastpath=None,
+):
     buffer = TraceBuffer()
     probe = TraceProbe(buffer=buffer)
+    transform = None
+    if fastpath is not None:
+        transform = lambda f, on=fastpath: f.with_fastpath(on)  # noqa: E731
     scenario = build_bug_scenario(
-        bug, variant, seed=seed, instrument=lambda s: s.attach_probe(probe)
+        bug,
+        variant,
+        seed=seed,
+        instrument=lambda s: s.attach_probe(probe),
+        features_transform=transform,
     )
     scenario.run(duration_us)
     return list(buffer)
@@ -31,6 +44,20 @@ def test_same_seed_runs_replay_identical_traces(bug):
     second = _trace(bug, seed=1234, duration_us=200 * MS)
     assert len(first) > 0
     assert first == second
+
+
+@pytest.mark.parametrize("bug", ["group-imbalance", "overload-on-wakeup"])
+@pytest.mark.parametrize("variant", ["buggy", "fixed"])
+def test_fastpath_caching_does_not_change_the_schedule(bug, variant):
+    # The perf layer's contract: the load cache, balance-pass memos, and
+    # heap compaction are pure memoization -- same seed, same trace, byte
+    # for byte, whether the fast paths are on or off.
+    fast = _trace(bug, seed=1234, duration_us=200 * MS, variant=variant,
+                  fastpath=True)
+    slow = _trace(bug, seed=1234, duration_us=200 * MS, variant=variant,
+                  fastpath=False)
+    assert len(fast) > 0
+    assert fast == slow
 
 
 def test_trace_equality_is_a_real_discriminator():

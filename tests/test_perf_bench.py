@@ -1,0 +1,153 @@
+"""Tests for the ``repro bench`` harness (repro.perf).
+
+Timing-dependent assertions are deliberately absent: wall-clock speedups
+are machine- and load-dependent, so those live in the BENCH trajectory,
+not the test suite.  What is pinned here is everything deterministic --
+the benchmark registry, the metric bookkeeping, the digest contract
+(fast and baseline modes hash to the same schedule), and the JSON
+trajectory round trip.
+"""
+
+import json
+
+from repro.cli import main
+from repro.perf import (
+    BENCHMARKS,
+    append_run,
+    benchmark_names,
+    check_digests,
+    format_results,
+    load_trajectory,
+    run_benchmark,
+)
+from repro.perf.bench import BenchResult, ModeMetrics
+
+
+def _metrics(wall=2.0, events=100):
+    return ModeMetrics(
+        wall_seconds=wall,
+        sim_us=1_000_000,
+        events_fired=events,
+        balance_calls=50,
+        migrations=5,
+        heap_compactions=1,
+    )
+
+
+def _result(name="table4", baseline_wall=None, digest="d" * 64):
+    baseline = None if baseline_wall is None else _metrics(baseline_wall)
+    return BenchResult(
+        name=name,
+        quick=True,
+        fast=_metrics(),
+        baseline=baseline,
+        digest=digest,
+        digest_match=None if baseline is None else True,
+    )
+
+
+def test_registry_names():
+    assert benchmark_names() == ["table4", "figure2", "soak64"]
+    for name, spec in BENCHMARKS.items():
+        assert spec.name == name
+        assert spec.description
+
+
+def test_mode_metrics_rates_and_json():
+    metrics = _metrics(wall=2.0, events=100)
+    assert metrics.events_per_sec == 50.0
+    assert metrics.balance_calls_per_sec == 25.0
+    obj = metrics.to_json()
+    assert obj["wall_seconds"] == 2.0
+    assert obj["events_per_sec"] == 50.0
+    degenerate = _metrics(wall=0.0)
+    assert degenerate.events_per_sec == 0.0
+
+
+def test_speedup_is_baseline_over_fast():
+    assert _result().speedup is None
+    assert _result(baseline_wall=5.0).speedup == 2.5
+    assert _result(baseline_wall=5.0).to_json()["speedup"] == 2.5
+
+
+def test_quick_benchmark_digest_identical_across_modes():
+    # The harness's core claim, exercised through the public entry point:
+    # fast and baseline runs of a seeded benchmark hash to the same
+    # schedule.  figure2 is the cheapest of the three.
+    result = run_benchmark("figure2", quick=True, compare=True)
+    assert result.digest_match is True
+    assert result.baseline is not None
+    assert result.fast.sim_us == result.baseline.sim_us
+    assert result.fast.events_fired == result.baseline.events_fired
+    assert result.fast.migrations == result.baseline.migrations
+    assert len(result.digest) == 64
+
+
+def test_trajectory_round_trip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    assert load_trajectory(path) == {"version": 1, "runs": []}
+    append_run(path, [_result()], label="first")
+    append_run(path, [_result(baseline_wall=4.0)], label="second")
+    data = load_trajectory(path)
+    assert [run["label"] for run in data["runs"]] == ["first", "second"]
+    latest = data["runs"][-1]["benchmarks"]["table4"]
+    assert latest["speedup"] == 2.0
+    assert latest["digest"] == "d" * 64
+    # The file itself is valid, stable JSON.
+    assert json.loads(path.read_text())["version"] == 1
+
+
+def test_check_digests_flags_drift_only(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    append_run(path, [_result(digest="a" * 64)])
+    assert check_digests(path, [_result(digest="a" * 64)]) == []
+    mismatches = check_digests(path, [_result(digest="b" * 64)])
+    assert mismatches == [("table4", "a" * 64, "b" * 64)]
+    # Benchmarks unknown to the stored run are not drift.
+    assert check_digests(path, [_result(name="brand-new")]) == []
+    # An absent trajectory has nothing to drift from.
+    assert check_digests(tmp_path / "missing.json", [_result()]) == []
+
+
+def test_format_results_renders_both_modes():
+    text = format_results([_result(baseline_wall=5.0)])
+    assert "table4" in text
+    assert "baseline" in text
+    assert "2.50x" in text
+    assert "DIGEST MISMATCH" not in text
+    broken = _result(baseline_wall=5.0)
+    broken.digest_match = False
+    assert "DIGEST MISMATCH" in format_results([broken])
+
+
+def test_cli_bench_quick(tmp_path, capsys):
+    out = tmp_path / "BENCH_cli.json"
+    code = main([
+        "bench", "--quick", "--only", "figure2",
+        "--out", str(out), "--label", "cli-test",
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "figure2" in stdout
+    data = load_trajectory(out)
+    assert data["runs"][0]["label"] == "cli-test"
+    assert "figure2" in data["runs"][0]["benchmarks"]
+
+
+def test_cli_bench_check_digests_drift_fails(tmp_path):
+    out = tmp_path / "BENCH_cli.json"
+    assert main(["bench", "--quick", "--only", "figure2",
+                 "--out", str(out)]) == 0
+    # Same seed, same schedule: a fresh run matches its own trajectory.
+    assert main(["bench", "--quick", "--only", "figure2",
+                 "--check-digests", str(out)]) == 0
+    # Corrupt the stored digest: the check must fail the run.
+    data = json.loads(out.read_text())
+    data["runs"][-1]["benchmarks"]["figure2"]["digest"] = "0" * 64
+    out.write_text(json.dumps(data))
+    assert main(["bench", "--quick", "--only", "figure2",
+                 "--check-digests", str(out)]) == 1
+
+
+def test_cli_bench_unknown_benchmark():
+    assert main(["bench", "--quick", "--only", "nope"]) == 2
