@@ -13,7 +13,14 @@ Public surface:
 * :class:`~repro.analysis.core.Finding` -- one structured violation;
 * :class:`~repro.analysis.baseline.Baseline` -- grandfathered violations;
 * :func:`~repro.analysis.rules.default_rules` -- the shipped rule set;
-* :func:`~repro.analysis.runner.run_lint` -- the CLI entry point.
+* :func:`~repro.analysis.runner.run_lint` -- the CLI entry point;
+* :func:`~repro.analysis.sarif.to_sarif` -- SARIF 2.1.0 export.
+
+Whole-program facilities (built once per lint run, shared by rules that
+need more than one file): :class:`~repro.analysis.symbols.SymbolTable`,
+:class:`~repro.analysis.callgraph.CallGraph`, and the mutation/epoch
+dataflow pass in :mod:`repro.analysis.dataflow` feeding
+:mod:`repro.analysis.rules.coherence`.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.analysis.core import (
 )
 from repro.analysis.rules import default_rules
 from repro.analysis.runner import run_lint
+from repro.analysis.sarif import render_sarif, to_sarif
 
 __all__ = [
     "Analyzer",
@@ -40,5 +48,7 @@ __all__ = [
     "default_rules",
     "iter_python_files",
     "module_for_path",
+    "render_sarif",
     "run_lint",
+    "to_sarif",
 ]

@@ -28,9 +28,18 @@ from __future__ import annotations
 
 import ast
 import hashlib
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Inline suppression directive: ``# repro: noqa[rule-a,rule-b]`` silences
+#: the named rules on its line; bare ``# repro: noqa`` silences every rule.
+#: Suppressed findings are still collected (marked ``suppressed=True``) so
+#: reports can show them next to baseline-grandfathered ones.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[a-z0-9_,\s-]*)\])?", re.IGNORECASE
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +53,11 @@ class Finding:
     message: str
     #: The stripped source line, for display and for the fingerprint.
     snippet: str = ""
+    #: ``"error"`` | ``"warning"`` | ``"note"`` -- maps onto SARIF levels.
+    severity: str = "warning"
+    #: True when an inline ``# repro: noqa[...]`` directive excused this
+    #: finding; it is reported but never fails the run.
+    suppressed: bool = False
 
     def fingerprint(self) -> str:
         """A line-number-independent identity for baseline matching.
@@ -65,6 +79,8 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "severity": self.severity,
+            "suppressed": self.suppressed,
             "fingerprint": self.fingerprint(),
         }
 
@@ -96,7 +112,11 @@ class FileContext:
         return ""
 
     def finding(
-        self, rule_id: str, node: ast.AST, message: str
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "warning",
     ) -> Finding:
         lineno = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
@@ -107,7 +127,45 @@ class FileContext:
             col=col,
             message=message,
             snippet=self.line(lineno),
+            severity=severity,
         )
+
+
+def noqa_directives(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Per-line inline suppressions: 1-based line -> rule ids (None = all).
+
+    Only the finding's own line is consulted -- a directive never spills
+    onto neighbors, so a suppression stays adjacent to the code it excuses.
+    """
+    directives: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            directives[lineno] = None
+        else:
+            names = {r.strip() for r in rules.split(",") if r.strip()}
+            # ``noqa[]`` names nothing: treat as suppress-all like bare noqa.
+            directives[lineno] = names or None
+    return directives
+
+
+def apply_noqa(
+    findings: Iterable[Finding], directives: Dict[int, Optional[Set[str]]]
+) -> List[Finding]:
+    """Mark findings excused by an inline directive as ``suppressed``."""
+    out: List[Finding] = []
+    for finding in findings:
+        if finding.line in directives:
+            rules = directives[finding.line]
+            if rules is None or finding.rule_id in rules:
+                finding = replace(finding, suppressed=True)
+        out.append(finding)
+    return out
 
 
 class Rule:
@@ -184,6 +242,10 @@ class Analyzer:
 
     def __init__(self, rules: Sequence[Rule]):
         self.rules: List[Rule] = list(rules)
+        #: Inline-suppression directives per display path, kept so findings
+        #: a rule emits from :meth:`Rule.finalize` (after the walk) still
+        #: honor the noqa comment sitting on their line.
+        self._noqa: Dict[str, Dict[int, Optional[Set[str]]]] = {}
 
     def check_file(
         self, path: Path, module: Optional[str] = None
@@ -232,11 +294,13 @@ class Analyzer:
             tree=tree,
             lines=source.splitlines(),
         )
+        directives = noqa_directives(ctx.lines)
+        self._noqa[display] = directives
         findings: List[Finding] = []
         for rule in self.rules:
             if rule.wants(module):
                 findings.extend(rule.visit(ctx))
-        return findings
+        return apply_noqa(findings, directives)
 
     def run(
         self,
@@ -253,6 +317,10 @@ class Analyzer:
         for path in iter_python_files(paths):
             findings.extend(self.check_file(path, overrides.get(path)))
         for rule in self.rules:
-            findings.extend(rule.finalize())
+            for finding in rule.finalize():
+                directives = self._noqa.get(finding.path)
+                if directives:
+                    finding = apply_noqa([finding], directives)[0]
+                findings.append(finding)
         findings.sort(key=Finding.sort_key)
         return findings

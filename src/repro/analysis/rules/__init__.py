@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.coherence import CoherenceRule
 from repro.analysis.rules.determinism import (
     SetIterationRule,
     UnseededRandomRule,
@@ -29,6 +30,7 @@ def default_rules() -> List[Rule]:
         SetIterationRule(),
         FeatureFlagRule(),
         LoadBypassRule(),
+        CoherenceRule(),
         TracepointConsistencyRule(),
     ]
     rules.extend(layering_rules())
@@ -37,6 +39,7 @@ def default_rules() -> List[Rule]:
 
 __all__ = [
     "default_rules",
+    "CoherenceRule",
     "UnseededRandomRule",
     "WallClockRule",
     "SetIterationRule",

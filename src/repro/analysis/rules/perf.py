@@ -21,12 +21,16 @@ schedules with caching on or off) exists to prevent.
   cells are internal to the cache keyed by (now, mutations, divisor
   epoch); reading one elsewhere trades a consistency guarantee for a
   stale float.
+
+Aliasing does not launder a bypass: ``tr = task.tracker; tr.util`` reads
+the very same frozen field as ``task.tracker.util``, so tracker objects
+bound to local names are tracked and their field reads flagged too.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Iterator, List, Set, Tuple
 
 from repro.analysis.core import FileContext, Finding, Rule
 
@@ -50,18 +54,52 @@ class LoadBypassRule(Rule):
     )
     scope: Tuple[str, ...] = ("repro.sched", "repro.sim")
 
+    @staticmethod
+    def _tracker_aliases(tree: ast.Module) -> Set[str]:
+        """Local names bound to a ``.tracker`` object anywhere in the file.
+
+        Conservative file-wide set: a name assigned from ``X.tracker`` in
+        one scope is treated as a tracker alias everywhere, which is the
+        right bias for a lint (reusing the name for something else while
+        also aliasing a tracker would be its own problem).
+        """
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            value = None
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "tracker"
+            ):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases
+
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = self._tracker_aliases(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Attribute):
                 continue
             if not isinstance(node.ctx, ast.Load):
                 continue
-            if (
-                node.attr in _TRACKER_FIELDS
-                and isinstance(node.value, ast.Attribute)
-                and node.value.attr == "tracker"
-                and ctx.module not in _TRACKER_OWNERS
-            ):
+            is_tracker_read = node.attr in _TRACKER_FIELDS and (
+                (
+                    isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "tracker"
+                )
+                or (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in aliases
+                )
+            )
+            if is_tracker_read and ctx.module not in _TRACKER_OWNERS:
                 yield ctx.finding(
                     self.rule_id,
                     node,

@@ -1,27 +1,32 @@
-"""The ``repro lint`` entry point: walk, apply baseline, render, exit code.
+"""The ``repro lint`` entry point: walk, apply suppressions, render, exit.
 
 Composes with pre-commit hooks and CI: exit status is 0 on a clean tree
-(or when every finding is grandfathered by the baseline) and 1 when any
+(or when every finding is excused -- grandfathered by the baseline or
+silenced by an inline ``# repro: noqa[...]`` directive) and 1 when any
 new finding exists.  ``--format json`` emits a stable machine-readable
-document; ``--write-baseline`` records the current findings as the new
-grandfather set.
+document, ``--format sarif`` (or ``--sarif FILE``) a SARIF 2.1.0 log for
+code-scanning consumers, and ``--write-baseline`` records the current
+active findings as the new grandfather set.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.core import Analyzer, Finding
 from repro.analysis.rules import default_rules
+from repro.analysis.sarif import render_sarif
 
 #: Default baseline filename, looked up in the current directory.
 DEFAULT_BASELINE = "lint-baseline.json"
 
-#: Schema version of the ``--format json`` document.
-REPORT_VERSION = 1
+#: Schema version of the ``--format json`` document.  Version 2 split the
+#: old two-way new/suppressed partition into three sections: ``findings``
+#: (fail the run), ``baseline`` (grandfathered), ``noqa`` (inline).
+REPORT_VERSION = 2
 
 
 def default_target() -> Path:
@@ -31,28 +36,51 @@ def default_target() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
+def partition_noqa(
+    findings: Sequence[Finding],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, inline-suppressed)."""
+    active = [f for f in findings if not f.suppressed]
+    noqa = [f for f in findings if f.suppressed]
+    return active, noqa
+
+
 def render_json(
-    new: Sequence[Finding], suppressed: Sequence[Finding]
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    noqa: Sequence[Finding],
 ) -> str:
     report = {
         "version": REPORT_VERSION,
         "findings": [f.to_dict() for f in new],
-        "suppressed": [f.to_dict() for f in suppressed],
-        "counts": {"new": len(new), "suppressed": len(suppressed)},
+        "baseline": [f.to_dict() for f in baselined],
+        "noqa": [f.to_dict() for f in noqa],
+        "counts": {
+            "new": len(new),
+            "baseline": len(baselined),
+            "noqa": len(noqa),
+        },
     }
     return json.dumps(report, indent=2, sort_keys=True)
 
 
 def render_text(
-    new: Sequence[Finding], suppressed: Sequence[Finding]
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    noqa: Sequence[Finding],
 ) -> str:
     lines = [f.format() for f in new]
     if new:
         lines.append("")
     noun = "finding" if len(new) == 1 else "findings"
     summary = f"{len(new)} {noun}"
-    if suppressed:
-        summary += f" ({len(suppressed)} suppressed by baseline)"
+    extras = []
+    if baselined:
+        extras.append(f"{len(baselined)} suppressed by baseline")
+    if noqa:
+        extras.append(f"{len(noqa)} suppressed inline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -62,13 +90,16 @@ def run_lint(
     fmt: str = "text",
     baseline_path: Optional[str] = None,
     write_baseline: bool = False,
+    sarif_path: Optional[str] = None,
     out: Callable[[str], None] = print,
 ) -> int:
     """Run the offline checker; returns the process exit code.
 
     ``paths`` defaults to the installed ``repro`` package.  A baseline is
     consulted when ``baseline_path`` is given, or when the default
-    ``lint-baseline.json`` exists in the working directory.
+    ``lint-baseline.json`` exists in the working directory.  When
+    ``sarif_path`` is given a SARIF 2.1.0 log of *every* finding
+    (including suppressed ones, flagged as such) is also written there.
     """
     targets = (
         [Path(p) for p in paths] if paths else [default_target()]
@@ -78,32 +109,45 @@ def run_lint(
         out(f"error: no such path: {', '.join(str(m) for m in missing)}")
         return 2
 
-    analyzer = Analyzer(default_rules())
+    rules = default_rules()
+    analyzer = Analyzer(rules)
     findings = analyzer.run(targets)
+    active, noqa = partition_noqa(findings)
 
     explicit = baseline_path is not None
     resolved_baseline = Path(baseline_path or DEFAULT_BASELINE)
     if write_baseline:
-        Baseline.from_findings(findings).save(resolved_baseline)
-        noun = "finding" if len(findings) == 1 else "findings"
+        # Only active findings need grandfathering; a noqa'd finding is
+        # already excused at its source line.
+        Baseline.from_findings(active).save(resolved_baseline)
+        noun = "finding" if len(active) == 1 else "findings"
         out(
             f"baseline written to {resolved_baseline} "
-            f"({len(findings)} {noun} grandfathered)"
+            f"({len(active)} {noun} grandfathered)"
         )
         return 0
 
-    new: List[Finding] = findings
-    suppressed: List[Finding] = []
+    new: List[Finding] = active
+    baselined: List[Finding] = []
     if explicit or resolved_baseline.exists():
         try:
             baseline = Baseline.load(resolved_baseline)
         except BaselineError as exc:
             out(f"error: {exc}")
             return 2
-        new, suppressed = baseline.split(findings)
+        new, baselined = baseline.split(active)
+
+    baseline_fps = {f.fingerprint() for f in baselined}
+    if sarif_path is not None:
+        Path(sarif_path).write_text(
+            render_sarif(findings, rules, baseline_fps) + "\n",
+            encoding="utf-8",
+        )
 
     if fmt == "json":
-        out(render_json(new, suppressed))
+        out(render_json(new, baselined, noqa))
+    elif fmt == "sarif":
+        out(render_sarif(findings, rules, baseline_fps))
     else:
-        out(render_text(new, suppressed))
+        out(render_text(new, baselined, noqa))
     return 1 if new else 0

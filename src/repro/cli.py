@@ -15,7 +15,8 @@
                           overload-on-wakeup|missing-domains>
     python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
     python -m repro metrics <bug> [--variant buggy|fixed]
-    python -m repro lint [paths ...] [--format json|text] [--baseline FILE]
+    python -m repro lint [paths ...] [--format json|text|sarif]
+                         [--sarif FILE] [--baseline FILE]
     python -m repro bench [--quick] [--compare] [--only NAME]
                           [--out BENCH_sim.json] [--check-digests FILE]
     python -m repro --version
@@ -121,8 +122,14 @@ def _cmd_demo(args) -> int:
     from repro.experiments.scenarios import build_bug_scenario
     from repro.stats.metrics import node_busy_times
 
+    transform = None
+    if args.sanitize:
+        transform = lambda f: f.with_sanitizer()  # noqa: E731
+
     for variant in ("buggy", "fixed"):
-        scenario = build_bug_scenario(args.bug, variant)
+        scenario = build_bug_scenario(
+            args.bug, variant, features_transform=transform
+        )
         scenario.run()
         system = scenario.system
         print(f"--- {scenario.bug} [{variant}]")
@@ -276,6 +283,7 @@ def _cmd_lint(args) -> int:
         fmt=args.format,
         baseline_path=args.baseline,
         write_baseline=args.write_baseline,
+        sarif_path=args.sarif,
     )
 
 
@@ -422,7 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=None,
         help="files or directories to check (default: the repro package)",
     )
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    p.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write a SARIF 2.1.0 log of every finding to FILE",
+    )
     p.add_argument(
         "--baseline", default=None,
         help="baseline file of grandfathered findings (default: "
@@ -468,6 +482,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("demo", help="run one bug's live demo")
     p.add_argument("bug", type=_bug_name, metavar="bug")
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the coherence sanitizer on: every fast-path memo "
+        "hit is cross-checked against a from-scratch recompute",
+    )
     p.set_defaults(func=_cmd_demo)
 
     for name, func, help_text in (

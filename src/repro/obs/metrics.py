@@ -17,7 +17,7 @@ prints the plain-text table the ``repro metrics`` subcommand shows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar, cast
 
 from repro.sim.timebase import format_time
 
@@ -26,6 +26,8 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 #: Histograms hold one bucket per power of two; 64 covers any int64 value.
 _NUM_BUCKETS = 64
+
+_M = TypeVar("_M", bound="Metric")
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -207,16 +209,16 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
 
-    def _get(self, name: str, cls, *args, **kwargs):
+    def _get(self, name: str, cls: Type[_M], *args: str) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = cls(name, *args, **kwargs)
+            metric = cls(name, *args)
             self._metrics[name] = metric
         elif not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
-        return metric
+        return cast(_M, metric)
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(name, Counter, help)
@@ -288,7 +290,9 @@ class MetricsSnapshot:
         ]
         if merged.count == 0:
             return out
-        fmt = format_time if metric.unit == "us" else lambda v: f"{v:g}"
+        fmt: Callable[[int], str] = (
+            format_time if metric.unit == "us" else lambda v: f"{v:g}"
+        )
         out[0] = (
             f"histogram {metric.name} ({metric.unit}): "
             f"count={merged.count} mean={fmt(int(metric.mean()))} "

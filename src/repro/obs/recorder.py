@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
 
 #: Tracepoint patterns the recorder listens to.
@@ -182,7 +182,7 @@ class MetricsRecorder:
     # -- conveniences --------------------------------------------------------
 
     @property
-    def wakeup_latency(self):
+    def wakeup_latency(self) -> Histogram:
         """The wakeup-to-run latency histogram (acceptance metric)."""
         return self._wakeup_latency
 

@@ -27,13 +27,16 @@ when scheduler-probe events are all you need.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.obs.bridge import ProbeTracepointBridge
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.recorder import MetricsRecorder
 from repro.obs.trace_export import ChromeTraceBuilder
 from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
+
+if TYPE_CHECKING:  # the engine imports the bus, so avoid a runtime cycle
+    from repro.sim.system import System
 
 
 class ObsSession:
@@ -57,7 +60,7 @@ class ObsSession:
                 num_cpus, max_events=max_trace_events
             )
             self.trace_builder.attach(self.registry)
-        self._system = None
+        self._system: Optional["System"] = None
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -66,7 +69,9 @@ class ObsSession:
     # -- wiring --------------------------------------------------------------
 
     @classmethod
-    def attach_to(cls, system, trace: bool = False, **kwargs) -> "ObsSession":
+    def attach_to(
+        cls, system: "System", trace: bool = False, **kwargs: Any
+    ) -> "ObsSession":
         """Create a session and plug it into a system's probe fanout."""
         session = cls(system.topology.num_cpus, trace=trace, **kwargs)
         system.attach_probe(session.bridge)

@@ -28,7 +28,7 @@ trace-event format expects.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.obs.tracepoints import TRACEPOINTS, TracepointRegistry
 
@@ -66,7 +66,7 @@ class ChromeTraceBuilder:
         self._events: List[Dict[str, object]] = []
         self._registry: Optional[TracepointRegistry] = None
         #: Open running-task slice per CPU: (start_us, tid, name).
-        self._open_slices: Dict[int, tuple] = {}
+        self._open_slices: Dict[int, Tuple[int, object, str]] = {}
         #: Open obs spans keyed by span name: start time.
         self._open_spans: Dict[str, int] = {}
         self._flow_id = 0

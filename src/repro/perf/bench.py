@@ -31,7 +31,7 @@ from repro.sim.system import System
 from repro.sim.timebase import MS, SEC
 from repro.topology import amd_bulldozer_64
 from repro.viz.events import TraceBuffer, TraceProbe
-from repro.workloads.base import Run, Sleep, TaskSpec
+from repro.workloads.base import Program, Run, Sleep, TaskSpec
 
 
 @dataclass
@@ -107,8 +107,8 @@ def _fastpath_transform(enabled: bool) -> Callable[[SchedFeatures], SchedFeature
 
 
 def _hog(name: str) -> TaskSpec:
-    def factory():  # type: ignore[no-untyped-def]
-        def program():  # type: ignore[no-untyped-def]
+    def factory() -> Program:
+        def program() -> Program:
             while True:
                 yield Run(5 * MS)
 
@@ -118,8 +118,8 @@ def _hog(name: str) -> TaskSpec:
 
 
 def _sleeper(name: str) -> TaskSpec:
-    def factory():  # type: ignore[no-untyped-def]
-        def program():  # type: ignore[no-untyped-def]
+    def factory() -> Program:
+        def program() -> Program:
             while True:
                 yield Run(1 * MS)
                 yield Sleep(2 * MS)

@@ -43,7 +43,10 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    cast,
 )
+
+from repro.sched.sanitizer import verify_designated, verify_group_stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.domains import SchedDomain, SchedGroup
@@ -105,12 +108,13 @@ class BalancePass:
 
     __slots__ = (
         "sched", "now", "_idle_epoch", "_div_epoch", "_loads", "_nrs",
-        "_muts", "_groups", "_designated",
+        "_muts", "_groups", "_designated", "_sanitize",
     )
 
     def __init__(self, sched: "Scheduler", now: int):
         self.sched = sched
         self.now = now
+        self._sanitize = sched.features.sanitize_coherence
         n = len(sched.cpus)
         self._idle_epoch = -1
         self._div_epoch = sched.divisor_epoch.value
@@ -183,15 +187,30 @@ class BalancePass:
         sig: Optional[Tuple[int, ...]] = None
         if entry is not None:
             if entry[3] == epoch:
-                return entry[1]  # type: ignore[return-value]
+                return self._stats_hit(group, entry[1])
             sig = self._signature(group)
             if entry[2] == sig:
                 entry[3] = epoch
-                return entry[1]  # type: ignore[return-value]
+                return self._stats_hit(group, entry[1])
         stats = _fold_group_stats(self.sched, group, self.now, self)
         if sig is None:
             sig = self._signature(group)
         self._groups[id(group)] = [group, stats, sig, epoch]
+        return stats
+
+    def _stats_hit(
+        self, group: "SchedGroup", cached: object
+    ) -> Optional[GroupStats]:
+        """A group-stats memo hit; sanitizer mode refolds and cross-checks.
+
+        The refold bypasses this memo (``bpass=None``); its per-queue
+        ``load()`` reads hit the runqueue memos, whose own sanitizer check
+        recounts their mirrors, so the whole dependency chain is verified.
+        """
+        stats = cast(Optional[GroupStats], cached)
+        if self._sanitize:
+            fresh = _fold_group_stats(self.sched, group, self.now, None)
+            verify_group_stats(group, stats, fresh)
         return stats
 
     def designated_for(self, group: "SchedGroup") -> int:
@@ -205,6 +224,10 @@ class BalancePass:
         self._refresh()
         entry = self._designated.get(id(group))
         if entry is not None:
+            if self._sanitize:
+                verify_designated(
+                    group, entry[1], _elect_designated(self.sched, group)
+                )
             return entry[1]
         winner = _elect_designated(self.sched, group)
         self._designated[id(group)] = (group, winner)
@@ -540,6 +563,13 @@ def periodic_balance(
             idle_epoch = sched.idle_epoch.value
             if slot[0] == idle_epoch:
                 winner = slot[1]
+                if sched.features.sanitize_coherence:
+                    # Memo-free baseline election (reads live online/idle
+                    # state only) cross-checks the per-level memo hit.
+                    verify_designated(
+                        None, winner,
+                        designated_cpu(sched, domain, cpu_id, None),
+                    )
             else:
                 winner = designated_cpu(sched, domain, cpu_id, bpass)
                 slot[0] = idle_epoch

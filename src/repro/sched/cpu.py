@@ -28,11 +28,13 @@ class Cpu:
         load_cache: bool = True,
         idle_epoch: Optional[LoadEpoch] = None,
         divisor_epoch: Optional[LoadEpoch] = None,
+        sanitize: bool = False,
     ):
         self.cpu_id = cpu_id
         self.rq = RunQueue(
             cpu_id, probe, load_epoch=load_epoch, load_cache=load_cache,
             idle_epoch=idle_epoch, divisor_epoch=divisor_epoch,
+            sanitize=sanitize,
         )
         #: Hotplug state; offline CPUs host no tasks and join no domain.
         self.online = True

@@ -90,6 +90,14 @@ class SchedFeatures:
     #: Compact the event heap when cancelled entries dominate.
     perf_event_compaction: bool = True
 
+    #: Coherence sanitizer: every fast-path memo *hit* recomputes the
+    #: value from scratch and raises
+    #: :class:`~repro.sched.sanitizer.CoherenceError` naming the divergent
+    #: field on any drift.  The runtime twin of the static
+    #: ``coherence-unbumped-write`` analyzer rule; meant for CI soaks,
+    #: never benchmarks (it makes every cache as slow as a miss).
+    sanitize_coherence: bool = False
+
     def with_fixes(self, *names: str) -> "SchedFeatures":
         """A copy with the named fixes enabled.
 
@@ -133,6 +141,18 @@ class SchedFeatures:
             perf_balance_stats=enabled,
             perf_event_compaction=enabled,
         )
+
+    def with_sanitizer(self, enabled: bool = True) -> "SchedFeatures":
+        """A copy with the coherence sanitizer toggled.
+
+        Sanitizing only makes sense with the fast paths on (it checks
+        their memo hits), so enabling it also enables them.
+        """
+        if enabled:
+            return replace(
+                self.with_fastpath(True), sanitize_coherence=True
+            )
+        return replace(self, sanitize_coherence=False)
 
     def describe(self) -> str:
         """One line per fix flag, kernel-boot-param style."""

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.sched.load import LoadEpoch
 from repro.sched.rbtree import RBTree
+from repro.sched.sanitizer import verify_rq_load
 from repro.sched.task import Task, TaskState
 from repro.sched.timebase import SCHED_LATENCY_US
 
@@ -43,6 +44,7 @@ class RunQueue:
         load_cache: bool = True,
         idle_epoch: Optional[LoadEpoch] = None,
         divisor_epoch: Optional[LoadEpoch] = None,
+        sanitize: bool = False,
     ):
         self.cpu_id = cpu_id
         self.probe = probe
@@ -63,6 +65,9 @@ class RunQueue:
             divisor_epoch if divisor_epoch is not None else LoadEpoch()
         )
         self._load_cache_enabled = load_cache
+        #: Coherence sanitizer: cross-check every load-memo hit against a
+        #: from-scratch recompute (see ``repro.sched.sanitizer``).
+        self._sanitize = sanitize
         #: This queue's own mutation counter: unlike ``load_epoch`` it is
         #: private, so one CPU's churn does not dirty its siblings' caches.
         self.mutations = 0
@@ -140,9 +145,15 @@ class RunQueue:
         self._notify(now)
 
     def requeue(self, task: Task, now: int) -> None:
-        """Re-sort a queued task after its vruntime changed."""
-        self._tree.remove((task.vruntime, task.tid))
-        self._tree.insert((task.vruntime, task.tid), task)
+        """Re-sort a queued task after its vruntime changed.
+
+        The task *set* is unchanged -- the tree entry merely moves to its
+        new sort position -- so load, nr_running, and idleness are all
+        exactly what every cache already holds: no epoch or mutation
+        bump, by design (hence the inline coherence suppressions).
+        """
+        self._tree.remove((task.vruntime, task.tid))  # repro: noqa[coherence-unbumped-write]
+        self._tree.insert((task.vruntime, task.tid), task)  # repro: noqa[coherence-unbumped-write]
 
     def set_current(self, task: Optional[Task], now: int) -> None:
         """Install (or clear) the task executing on this CPU."""
@@ -241,6 +252,8 @@ class RunQueue:
             and self._cached_load_div == div
         ):
             self.load_cache_hits += 1
+            if self._sanitize:
+                verify_rq_load(self, now, self._cached_load)
             return self._cached_load
         value = sum(task.load(now) for task in self.all_tasks())
         self._cached_load_now = now

@@ -70,6 +70,7 @@ class Scheduler:
                 load_cache=self.features.perf_load_cache,
                 idle_epoch=self.idle_epoch,
                 divisor_epoch=self.divisor_epoch,
+                sanitize=self.features.sanitize_coherence,
             )
             for cpu_id in range(topology.num_cpus)
         ]

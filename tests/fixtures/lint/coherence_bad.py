@@ -1,0 +1,28 @@
+"""Fixture: writes to memoized-load inputs with missing counter bumps."""
+
+
+class LoadEpoch:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class RunQueue:
+    def __init__(self):
+        self._tree = []
+        self._nr_running = 0
+        self.mutations = 0
+        self.load_epoch = LoadEpoch()
+        self.idle_epoch = LoadEpoch()
+
+    def sneaky_insert(self, item):
+        # BAD x2: both writes reach cached readers with no bump at all.
+        self._tree.append(item)
+        self._nr_running += 1
+
+    def half_bumped(self, item):
+        # BAD: bumps the private counter but never the shared load epoch.
+        self._tree.append(item)
+        self.mutations += 1

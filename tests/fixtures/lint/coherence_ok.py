@@ -1,0 +1,47 @@
+"""Fixture: the approved write disciplines for memoized-load inputs."""
+
+
+class LoadEpoch:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class RunQueue:
+    def __init__(self):
+        # OK: constructor self-initialization needs no bump (nothing can
+        # hold a stale cache of an object mid-__init__).
+        self._tree = []
+        self._nr_running = 0
+        self.curr = None
+        self.mutations = 0
+        self.load_epoch = LoadEpoch()
+        self.idle_epoch = LoadEpoch()
+
+    def enqueue(self, item):
+        # OK: every write is followed by its counters; the idle-epoch
+        # bump being conditional is fine (only transitions matter).
+        self._tree.append(item)
+        self._nr_running += 1
+        self.mutations += 1
+        if self._nr_running == 1:
+            self.idle_epoch.bump()
+        self.load_epoch.bump()
+
+    def _raw_insert(self, item):
+        # OK: bump-free helper, covered because its only caller bumps
+        # every required counter after the call site.
+        self._tree.append(item)
+        self._nr_running += 1
+
+    def covered_insert(self, item):
+        self._raw_insert(item)
+        self.mutations += 1
+        self.idle_epoch.bump()
+        self.load_epoch.bump()
+
+    def rotate(self, item):
+        # Provably cache-preserving by design; opted out explicitly.
+        self._tree.append(item)  # repro: noqa[coherence-unbumped-write]

@@ -1,0 +1,21 @@
+"""Fixture: load-field bypasses laundered through a local alias."""
+
+
+def stale_via_alias(task):
+    tr = task.tracker
+    # BAD: same frozen field as task.tracker.util, one hop removed.
+    return tr.util * task.weight
+
+
+def stale_timestamp_via_alias(cpu, now):
+    rq = cpu.rq
+    # BAD: the chain head is an alias but the read is still .tracker.util.
+    busiest = rq.tracker.util
+    t = rq.curr.tracker
+    # BAD: alias bound from an attribute chain.
+    return now - t.last_update_us + busiest
+
+
+def stale_walrus(task):
+    # BAD: a walrus-bound alias is an alias too.
+    return (tr := task.tracker) and tr.util

@@ -1,0 +1,20 @@
+"""Fixture: aliases used legally -- updates and unrelated fields."""
+
+
+def account_via_alias(task, now):
+    tr = task.tracker
+    # OK: advancing the average through an alias is still accounting.
+    tr.update(now, was_running=True)
+    return tr.peek(now, False)
+
+
+def unrelated_name(metrics):
+    util = metrics.util
+    # OK: 'util' on a non-tracker object; no alias was bound from .tracker.
+    return util
+
+
+def alias_of_queue(cpu, now):
+    rq = cpu.rq
+    # OK: the cached accessor through an alias is exactly the approved read.
+    return rq.load(now)

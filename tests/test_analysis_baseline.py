@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis import Baseline, BaselineError, Finding
+from repro.analysis import Baseline, BaselineError, Finding, run_lint
 from repro.analysis.baseline import BASELINE_VERSION
 
 
@@ -73,6 +73,57 @@ def test_load_rejects_wrong_version(tmp_path):
     bad.write_text(json.dumps({"version": 99, "entries": []}))
     with pytest.raises(BaselineError):
         Baseline.load(bad)
+
+
+def test_write_baseline_noqa_round_trip(tmp_path):
+    """Baseline and inline noqa compose without double-counting.
+
+    A file carries two violations, one excused at the source line with
+    ``# repro: noqa[...]``.  ``--write-baseline`` must grandfather only
+    the *active* one (the noqa'd finding is already excused where it
+    stands); the re-run is then clean, and a genuinely fresh violation
+    still fails the gate.
+    """
+    target = tmp_path / "drifty.py"
+    target.write_text(
+        "import random\n"
+        "\n"
+        "a = random.random()\n"
+        "b = random.random()  # repro: noqa[det-unseeded-random]\n"
+    )
+    baseline_file = tmp_path / "lint-baseline.json"
+
+    code = run_lint(
+        paths=[str(target)],
+        baseline_path=str(baseline_file),
+        write_baseline=True,
+        out=lambda _line: None,
+    )
+    assert code == 0
+    payload = json.loads(baseline_file.read_text())
+    # Only the active finding is grandfathered.
+    assert len(payload["entries"]) == 1
+    assert "a = random.random()" in payload["entries"][0]["snippet"]
+
+    lines = []
+    code = run_lint(
+        paths=[str(target)],
+        fmt="json",
+        baseline_path=str(baseline_file),
+        out=lines.append,
+    )
+    assert code == 0
+    report = json.loads("\n".join(lines))
+    assert report["counts"] == {"new": 0, "baseline": 1, "noqa": 1}
+
+    # A fresh, unexcused violation still fails the gate.
+    target.write_text(target.read_text() + "c = random.random()\n")
+    code = run_lint(
+        paths=[str(target)],
+        baseline_path=str(baseline_file),
+        out=lambda _line: None,
+    )
+    assert code == 1
 
 
 def test_load_rejects_non_list_entries(tmp_path):

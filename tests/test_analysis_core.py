@@ -57,9 +57,13 @@ def test_finding_to_dict_schema():
         "col",
         "message",
         "snippet",
+        "severity",
+        "suppressed",
         "fingerprint",
     }
     assert d["fingerprint"] == f.fingerprint()
+    assert d["severity"] == "warning"
+    assert d["suppressed"] is False
 
 
 def test_module_for_path_climbs_packages():

@@ -1,0 +1,218 @@
+"""Unit tests for the whole-program layer: symbols, call graph, dataflow.
+
+A toy project exercises each mechanism in isolation; the final test pins
+the analyzer's *derived* accessor dependency facts (over the real shipped
+tree) to the hand-written table the runtime sanitizer uses -- the bridge
+that keeps the static and dynamic halves of the coherence contract from
+drifting apart.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.core import iter_python_files, module_for_path
+from repro.analysis.dataflow import CoverageAnalysis, build_summaries
+from repro.analysis.rules.coherence import derived_facts
+from repro.analysis.symbols import SymbolTable, TypeRef
+
+REPO = Path(__file__).resolve().parents[1]
+
+TOY = '''
+class Epoch:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class Queue:
+    def __init__(self, epoch: "Epoch"):
+        self._items = []
+        self.count = 0
+        self.mutations = 0
+        self.load_epoch = epoch
+
+    def push(self, item):
+        self._items.append(item)
+        self.count += 1
+        self.mutations += 1
+        self.load_epoch.bump()
+
+    def raw_push(self, item):
+        self._items.append(item)
+
+    def safe_push(self, item):
+        self.raw_push(item)
+        self.mutations += 1
+        self.load_epoch.bump()
+
+    def orphan_push(self, item):
+        self._items.append(item)
+
+    @property
+    def depth(self) -> int:
+        return self.count
+
+
+class Box:
+    def __init__(self):
+        self.q = Queue(Epoch())
+
+    def queue(self) -> "Queue":
+        return self.q
+
+    def poke(self):
+        return self.queue().depth
+'''
+
+MOD = "repro.sched.toy"
+
+
+def toy_project():
+    files = [(MOD, "<toy>", ast.parse(TOY))]
+    table = SymbolTable.build(files)
+    graph = CallGraph.build(table, files)
+    return table, graph
+
+
+def q(name):
+    return f"{MOD}.{name}"
+
+
+# ------------------------------------------------------------------ symbols
+
+
+def test_field_types_from_init():
+    table, _ = toy_project()
+    # Annotated-parameter assignment propagates the annotation.
+    assert table.field_type("Queue", "load_epoch") == TypeRef("Epoch")
+    # Constructor-call assignment infers the constructed class.
+    assert table.field_type("Box", "q") == TypeRef("Queue")
+
+
+def test_method_and_return_annotation_lookup():
+    table, _ = toy_project()
+    fn = table.method("Box", "queue")
+    assert fn is not None and fn.qualname == q("Box.queue")
+    ret = table.return_type(fn)
+    assert ret == TypeRef("Queue")  # string forward ref reparsed
+
+
+def test_mutating_methods_fixpoint():
+    table, _ = toy_project()
+    muts = table.mutating_methods("Queue")
+    # push/raw_push append to a list field; depth only reads.
+    assert "push" in muts and "raw_push" in muts
+    assert "depth" not in muts
+
+
+# --------------------------------------------------------------- call graph
+
+
+def test_call_and_property_edges():
+    _, graph = toy_project()
+    kinds = {
+        (s.callee, s.kind) for s in graph.callees(q("Box.poke"))
+    }
+    # self.queue() resolves through the receiver; .depth is a property
+    # access chased through queue()'s return annotation.
+    assert (q("Box.queue"), "call") in kinds
+    assert (q("Queue.depth"), "property") in kinds
+
+
+def test_constructor_edges():
+    _, graph = toy_project()
+    callees = {s.callee for s in graph.callees(q("Box.__init__"))}
+    assert q("Queue.__init__") in callees
+    assert q("Epoch.__init__") in callees
+
+
+# ----------------------------------------------------------------- dataflow
+
+
+def test_summaries_record_writes_and_bumps():
+    table, _ = toy_project()
+    summaries = build_summaries(table)
+    push = summaries[q("Queue.push")]
+    writes = {(w.attr, w.kind) for w in push.writes}
+    assert ("_items", "mutate") in writes
+    assert ("count", "augassign") in writes
+    assert {name for name, _line in push.bumps} == {
+        "mutations", "load_epoch"
+    }
+
+
+def test_coverage_intra_and_interprocedural():
+    table, graph = toy_project()
+    coverage = CoverageAnalysis(build_summaries(table), graph)
+
+    def write_line(qual, attr):
+        (line,) = {
+            w.line for w in coverage.summaries[qual].writes
+            if w.attr == attr
+        }
+        return line
+
+    # Intra: push bumps after its own writes.
+    line = write_line(q("Queue.push"), "_items")
+    assert coverage.covered(q("Queue.push"), line, "mutations")
+    assert coverage.covered(q("Queue.push"), line, "load_epoch")
+    # Inter: raw_push is bump-free but its only caller bumps after the
+    # call site.
+    line = write_line(q("Queue.raw_push"), "_items")
+    assert coverage.covered(q("Queue.raw_push"), line, "mutations")
+    assert coverage.covered(q("Queue.raw_push"), line, "load_epoch")
+    # A write in a function nothing calls is uncovered: dead or
+    # dynamically-invoked code must opt out explicitly.
+    line = write_line(q("Queue.orphan_push"), "_items")
+    assert not coverage.covered(q("Queue.orphan_push"), line, "mutations")
+
+
+def test_bumped_counters_survive_recursion():
+    src = (
+        "class Epoch:\n"
+        "    def bump(self):\n"
+        "        self.value += 1\n"
+        "def ping(n, load_epoch):\n"
+        "    load_epoch.bump()\n"
+        "    if n:\n"
+        "        pong(n - 1, load_epoch)\n"
+        "def pong(n, load_epoch):\n"
+        "    if n:\n"
+        "        ping(n - 1, load_epoch)\n"
+    )
+    files = [(MOD, "<toy>", ast.parse(src))]
+    table = SymbolTable.build(files)
+    graph = CallGraph.build(table, files)
+    coverage = CoverageAnalysis(build_summaries(table), graph)
+    # Both directions of the cycle see the bump; neither caches an
+    # incomplete mid-cycle set.
+    assert "load_epoch" in coverage.bumped_counters(q("ping"))
+    assert "load_epoch" in coverage.bumped_counters(q("pong"))
+
+
+# ------------------------------------------------------- derived facts pin
+
+
+def test_derived_facts_match_sanitizer_table():
+    """The analyzer's derived dependency sets ARE the sanitizer's table.
+
+    ``repro.sched`` cannot import ``repro.analysis`` (layering), so the
+    sanitizer restates the facts; this equality is what keeps the static
+    and runtime halves of the contract in lockstep.
+    """
+    from repro.sched.sanitizer import FACTS
+
+    files = []
+    for path in iter_python_files([REPO / "src" / "repro"]):
+        files.append(
+            (
+                module_for_path(path),
+                str(path),
+                ast.parse(path.read_text(encoding="utf-8")),
+            )
+        )
+    facts = derived_facts(files)
+    assert facts == FACTS

@@ -218,3 +218,50 @@ def test_perf_load_bypass_out_of_scope():
         "perf_load_bypass_bad.py", "repro.experiments.perf_load_bypass_bad"
     )
     assert findings == []
+
+
+def test_perf_load_bypass_alias_bad():
+    # tr.util, rq.tracker.util, t.last_update_us, walrus tr.util
+    findings = lint_fixture(
+        "perf_load_alias_bad.py", "repro.sched.perf_load_alias_bad"
+    )
+    assert rule_ids(findings) == ["perf-load-bypass"] * 4
+
+
+def test_perf_load_bypass_alias_ok():
+    findings = lint_fixture(
+        "perf_load_alias_ok.py", "repro.sched.perf_load_alias_ok"
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------- mutation coherence
+
+
+def test_coherence_unbumped_writes():
+    findings = lint_fixture("coherence_bad.py", "repro.sched.coherence_bad")
+    assert rule_ids(findings) == ["coherence-unbumped-write"] * 3
+    assert all(f.severity == "error" for f in findings)
+    # sneaky_insert: both writes fully unbumped.
+    assert "_tree" in findings[0].message
+    assert "_nr_running" in findings[1].message
+    # half_bumped: only the missing counter is named.
+    assert "load_epoch" in findings[2].message
+    assert "mutations" not in findings[2].message.split("bump of")[1]
+
+
+def test_coherence_ok_disciplines():
+    findings = lint_fixture("coherence_ok.py", "repro.sched.coherence_ok")
+    active = [f for f in findings if not f.suppressed]
+    assert active == [], [f.format() for f in active]
+    # The explicit opt-out in rotate() is still reported, as suppressed
+    # (finalize-phase findings honor inline noqa directives too).
+    assert rule_ids(findings) == ["coherence-unbumped-write"]
+    assert findings[0].suppressed
+
+
+def test_coherence_out_of_scope():
+    findings = lint_fixture(
+        "coherence_bad.py", "repro.experiments.coherence_bad"
+    )
+    assert findings == []

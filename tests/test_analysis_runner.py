@@ -49,8 +49,9 @@ def test_json_report_schema(tmp_path):
     assert run_lint(paths=[str(target)], fmt="json", out=out) == 1
     report = json.loads("\n".join(lines))
     assert report["version"] == REPORT_VERSION
-    assert report["counts"] == {"new": 1, "suppressed": 0}
-    assert report["suppressed"] == []
+    assert report["counts"] == {"new": 1, "baseline": 0, "noqa": 0}
+    assert report["baseline"] == []
+    assert report["noqa"] == []
     (finding,) = report["findings"]
     assert finding["rule"] == "det-unseeded-random"
     assert finding["line"] == 3
@@ -107,8 +108,13 @@ def test_corrupt_baseline_exits_two(tmp_path):
 
 
 def test_repository_tree_is_lint_clean():
-    """Acceptance: ``repro lint`` runs clean on the shipped source tree."""
+    """Acceptance: ``repro lint`` runs clean on the shipped source tree.
+
+    "Clean" means zero *active* findings; the tree's own deliberate
+    ``# repro: noqa[...]`` exemptions (e.g. ``RunQueue.requeue``) are
+    reported as inline-suppressed and never fail the run.
+    """
     lines, out = _capture()
     code = run_lint(paths=[str(SRC / "repro")], out=out)
     assert code == 0, "\n".join(lines)
-    assert lines[-1] == "0 findings"
+    assert lines[-1].startswith("0 findings")

@@ -1,8 +1,9 @@
 """Local mirror of CI's strict typing gate (skips when mypy is absent).
 
-CI installs mypy and runs ``mypy -p repro.sched -p repro.analysis`` with
-the per-layer strictness configured in pyproject.toml; this test runs the
-identical command so the gate is reproducible offline too.
+CI installs mypy and runs it over the strictly-typed layers (scheduler,
+static checker, perf harness, obs subsystem) with the per-layer
+strictness configured in pyproject.toml; this test runs the identical
+command so the gate is reproducible offline too.
 """
 
 import os
@@ -16,12 +17,17 @@ pytest.importorskip("mypy")
 
 REPO = Path(__file__).resolve().parents[1]
 
+STRICT_PACKAGES = ("repro.sched", "repro.analysis", "repro.perf", "repro.obs")
 
-def test_strict_gate_on_sched_and_analysis():
+
+def test_strict_gate_on_typed_layers():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    cmd = [sys.executable, "-m", "mypy"]
+    for package in STRICT_PACKAGES:
+        cmd += ["-p", package]
     proc = subprocess.run(
-        [sys.executable, "-m", "mypy", "-p", "repro.sched", "-p", "repro.analysis"],
+        cmd,
         cwd=REPO,
         env=env,
         capture_output=True,
