@@ -18,6 +18,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.flags import FeatureFlagRule
 from repro.analysis.rules.layering import LayeringRule, layering_rules
+from repro.analysis.rules.orchestrator import OrchestratorForkSafetyRule
 from repro.analysis.rules.perf import LoadBypassRule
 from repro.analysis.rules.tracepoints import TracepointConsistencyRule
 
@@ -32,6 +33,7 @@ def default_rules() -> List[Rule]:
         LoadBypassRule(),
         CoherenceRule(),
         TracepointConsistencyRule(),
+        OrchestratorForkSafetyRule(),
     ]
     rules.extend(layering_rules())
     return rules
@@ -46,6 +48,7 @@ __all__ = [
     "FeatureFlagRule",
     "LayeringRule",
     "LoadBypassRule",
+    "OrchestratorForkSafetyRule",
     "layering_rules",
     "TracepointConsistencyRule",
 ]

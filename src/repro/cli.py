@@ -15,9 +15,11 @@
                           overload-on-wakeup|missing-domains>
     python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
     python -m repro metrics <bug> [--variant buggy|fixed]
+    python -m repro report [--quick] [-j N] [--no-cache] [--cache-dir DIR]
+                           [--utilization-out FILE] [--digests-out FILE]
     python -m repro lint [paths ...] [--format json|text|sarif]
                          [--sarif FILE] [--baseline FILE]
-    python -m repro bench [--quick] [--compare] [--only NAME]
+    python -m repro bench [--quick] [--compare] [--only NAME] [-j N]
                           [--out BENCH_sim.json] [--check-digests FILE]
     python -m repro --version
 """
@@ -195,82 +197,61 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _resolve_cache(args):
+    """The ResultCache the CLI flags ask for (None when disabled)."""
+    from repro.perf.orchestrator import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(root=args.cache_dir)
+
+
 def _cmd_report(args) -> int:
-    """Regenerate a full markdown report of every experiment."""
-    from repro.experiments.figure2 import render_figure2, run_figure2
-    from repro.experiments.figure3 import run_figure3
-    from repro.experiments.figure5 import run_figure5
-    from repro.experiments.figures_topology import (
-        format_figure4,
-        format_table5,
+    """Regenerate a full markdown report of every experiment.
+
+    Trials fan out across ``--jobs`` worker processes and previously
+    computed rows are answered from the content-addressed cache under
+    ``.repro-cache/`` (``--no-cache`` disables it); the rendered report
+    is byte-identical for any ``--jobs`` value.
+    """
+    import json
+
+    from repro.experiments.reportgen import QUICK_SCALE, generate_report
+
+    scale = QUICK_SCALE if args.quick else args.scale
+
+    def progress(done: int, total: int, outcome) -> None:
+        origin = "cache" if outcome.cached else outcome.worker
+        print(
+            f"[{done}/{total}] {outcome.spec.label} "
+            f"({origin}, {outcome.wall_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+
+    result = generate_report(
+        scale=scale,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
+        progress=progress,
     )
-    from repro.experiments.table1 import format_table1, run_table1
-    from repro.experiments.table2 import format_table2, run_table2
-    from repro.experiments.table3 import format_table3, run_table3
-    from repro.experiments.table4 import format_table4
-
-    scale = args.scale
-    out = []
-    out.append("# wastedcores reproduction report\n")
-    out.append(f"(scale = {scale}; all times are simulator times)\n")
-
-    out.append("## Machine\n```")
-    out.append(format_table5())
-    out.append("")
-    out.append(format_figure4())
-    out.append("```\n")
-
-    out.append("## Table 1\n```")
-    out.append(format_table1(run_table1(scale=scale)))
-    out.append("```\n")
-
-    out.append("## Table 2\n```")
-    out.append(format_table2(run_table2(scale=min(scale * 5, 1.0), runs=1)))
-    out.append("```\n")
-
-    out.append("## Table 3\n```")
-    out.append(format_table3(run_table3(scale=scale)))
-    out.append("```\n")
-
-    out.append("## Table 4\n```")
-    out.append(format_table4())
-    out.append("```\n")
-
-    fig2 = run_figure2(scale=min(scale * 2, 1.0))
-    out.append("## Figure 2\n```")
-    out.append(
-        f"make: {fig2.buggy.make_seconds:.3f}s buggy vs "
-        f"{fig2.fixed.make_seconds:.3f}s fixed "
-        f"({fig2.make_improvement_pct:+.1f}%); "
-        f"idle R-node core-s {fig2.buggy.idle_node_core_seconds:.2f} vs "
-        f"{fig2.fixed.idle_node_core_seconds:.2f}"
-    )
-    out.append("```\n")
-    del render_figure2  # heatmap bodies omitted from the report
-
-    fig3 = run_figure3(scale=min(scale * 5, 1.0))
-    out.append("## Figure 3\n```")
-    out.append(
-        f"busy-core wakeups: {fig3.buggy.busy_wakeup_fraction:.1%} buggy "
-        f"vs {fig3.fixed.busy_wakeup_fraction:.1%} fixed"
-    )
-    out.append("```\n")
-
-    fig5 = run_figure5()
-    out.append("## Figure 5\n```")
-    out.append(
-        f"balancing coverage by core 0: {fig5.buggy.coverage:.1%} buggy "
-        f"vs {fig5.fixed.coverage:.1%} fixed"
-    )
-    out.append("```\n")
-
-    text = "\n".join(out)
+    print(result.stats.summary(), file=sys.stderr)
+    if args.utilization_out:
+        with open(args.utilization_out, "w", encoding="utf-8") as f:
+            json.dump(result.stats.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"utilization summary written to {args.utilization_out}",
+              file=sys.stderr)
+    if args.digests_out:
+        with open(args.digests_out, "w", encoding="utf-8") as f:
+            f.write("\n".join(result.digests) + "\n")
+        print(f"schedule digests written to {args.digests_out}",
+              file=sys.stderr)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:
-            f.write(text)
+            f.write(result.markdown)
         print(f"report written to {args.output}")
     else:
-        print(text)
+        print(result.markdown)
     return 0
 
 
@@ -308,7 +289,10 @@ def _cmd_bench(args) -> int:
         print(f"running {name}{' (quick)' if args.quick else ''} ...",
               file=sys.stderr)
         results.append(
-            run_benchmark(name, quick=args.quick, compare=args.compare)
+            run_benchmark(
+                name, quick=args.quick, compare=args.compare,
+                jobs=args.jobs,
+            )
         )
     print(format_results(results))
 
@@ -327,7 +311,7 @@ def _cmd_bench(args) -> int:
         if not mismatches:
             print(f"digests match {args.check_digests}")
     if args.out:
-        append_run(args.out, results, label=args.label)
+        append_run(args.out, results, label=args.label, jobs=args.jobs)
         print(f"appended run to {args.out}")
     return status
 
@@ -419,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", type=float, default=0.2)
     p.add_argument("--output", default=None)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="shrink every experiment to smoke-run scale (CI gate)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for trial execution (default: REPRO_JOBS "
+        "or serial; 0 = one per core); output is byte-identical for "
+        "any N",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every trial instead of consulting the "
+        "content-addressed result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    p.add_argument(
+        "--utilization-out", default=None, metavar="FILE",
+        help="write the orchestrator utilization summary as JSON to FILE",
+    )
+    p.add_argument(
+        "--digests-out", default=None, metavar="FILE",
+        help="write every trial's schedule digest (spec order) to FILE; "
+        "diffing two runs' files proves -jN equivalence",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -477,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--label", default="",
         help="label recorded with the appended run (e.g. a commit sha)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the report_wall benchmark's fast "
+        "mode (1 = one per core there); recorded in --out trajectories",
     )
     p.set_defaults(func=_cmd_bench)
 

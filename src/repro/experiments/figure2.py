@@ -14,10 +14,17 @@ from __future__ import annotations
 import os
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.harness import ExperimentConfig
-from repro.sched.features import SchedFeatures
+from repro.experiments.harness import ExperimentConfig, schedule_digest
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
 from repro.sim.timebase import SEC
 from repro.viz.events import LoadEvent, NrRunningEvent, TraceBuffer, TraceProbe
 from repro.viz.heatmap import (
@@ -27,6 +34,10 @@ from repro.viz.heatmap import (
 )
 from repro.workloads.cpubound import r_process
 from repro.workloads.make import MakeJob, make_driver
+
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.figure2:make_r_trial"
 
 
 @dataclass
@@ -40,21 +51,30 @@ class Figure2Run:
     num_cpus: int
     cores_per_node: int
     idle_node_core_seconds: float
+    #: Schedule fingerprint of the run (tracing does not perturb it).
+    schedule_digest: str = ""
 
 
 def run_make_and_r(
     config: ExperimentConfig,
     nr_make_workers: int = 64,
     total_jobs: Optional[int] = None,
+    traced: bool = True,
 ) -> Figure2Run:
-    """Run make(64) + 2 R from three ttys with tracing enabled."""
+    """Run make(64) + 2 R from three ttys, traced unless asked not to.
+
+    ``traced=False`` skips the heatmap probe (the returned ``trace`` is
+    empty); the schedule -- and so every number and the digest -- is
+    identical either way, since probes only observe.
+    """
     system = config.build_system()
     topo = system.topology
     trace_probe = TraceProbe(
         record_considered=False, record_wakeups=False,
         record_migrations=False, record_lifecycle=False,
     )
-    system.attach_probe(trace_probe)
+    if traced:
+        system.attach_probe(trace_probe)
 
     if total_jobs is None:
         total_jobs = max(200, int(3000 * config.scale))
@@ -95,7 +115,60 @@ def run_make_and_r(
         num_cpus=topo.num_cpus,
         cores_per_node=topo.cores_per_node,
         idle_node_core_seconds=idle / 1e6,
+        schedule_digest=schedule_digest(system),
     )
+
+
+def make_r_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one make+2R run, rebuilt from the spec.
+
+    With the ``trace`` param set, the full :class:`Figure2Run` (heatmap
+    trace included) rides back as the result's artifact -- such specs
+    must opt out of the cache.  Without it the run is untraced and the
+    row alone (make seconds, idle core-time) is cacheable.
+    """
+    traced = spec.param("trace") == "1"
+    config = ExperimentConfig(
+        build_features(spec.features),
+        seed=spec.seed,
+        scale=spec.scale,
+        deadline_us=spec.deadline_us or 600 * SEC,
+    )
+    run = run_make_and_r(config, traced=traced)
+    row: Dict[str, object] = {
+        "label": run.label,
+        "make_seconds": run.make_seconds,
+        "span_us": run.span_us,
+        "idle_node_core_seconds": run.idle_node_core_seconds,
+    }
+    return TrialResult(
+        row=row,
+        schedule_digest=run.schedule_digest,
+        stats={"sim_us": run.span_us},
+        artifact=run if traced else None,
+    )
+
+
+def figure2_specs(
+    scale: float = 0.3,
+    seed: int = 42,
+    traced: bool = True,
+) -> List[TrialSpec]:
+    """The (buggy, fixed) make+2R trial pair."""
+    specs: List[TrialSpec] = []
+    for tokens in ((), feature_tokens("group_imbalance")):
+        specs.append(
+            TrialSpec(
+                kind=TRIAL_KIND,
+                scenario="figure2:make+2R",
+                seed=seed,
+                features=tokens,
+                scale=scale,
+                params=(("trace", "1"),) if traced else (),
+                cache=not traced,
+            )
+        )
+    return specs
 
 
 @dataclass
@@ -114,16 +187,22 @@ class Figure2Result:
         )
 
 
-def run_figure2(scale: float = 0.3, seed: int = 42) -> Figure2Result:
-    """Run the make+R scenario under the bug and the fix."""
-    buggy = ExperimentConfig(SchedFeatures(), seed=seed, scale=scale)
-    fixed = ExperimentConfig(
-        SchedFeatures().with_fixes("group_imbalance"), seed=seed, scale=scale
-    )
-    return Figure2Result(
-        buggy=run_make_and_r(buggy),
-        fixed=run_make_and_r(fixed),
-    )
+def run_figure2(
+    scale: float = 0.3,
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure2Result:
+    """Run the make+R scenario under the bug and the fix.
+
+    Both traced runs go through the orchestrator (the traces ride back
+    as artifacts and stay out of the result cache), so ``jobs=2`` runs
+    the buggy and fixed variants on two cores.
+    """
+    run = run_trials(figure2_specs(scale=scale, seed=seed), jobs=jobs,
+                     cache=cache)
+    buggy, fixed = (o.result.artifact for o in run.outcomes)
+    return Figure2Result(buggy=buggy, fixed=fixed)
 
 
 def render_figure2(

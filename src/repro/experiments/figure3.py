@@ -20,19 +20,30 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.offline import OfflineViolation, find_trace_violations
-from repro.experiments.harness import ExperimentConfig
+from repro.experiments.harness import ExperimentConfig, schedule_digest
 from repro.experiments.table2 import (
     CONTAINERS,
     TRANSIENT_DURATION_US,
     TRANSIENT_RATE_PER_SEC,
 )
-from repro.sched.features import SchedFeatures
-from repro.sim.timebase import MS
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
+from repro.sim.timebase import MS, SEC
 from repro.viz.events import NrRunningEvent, TraceBuffer, TraceProbe
 from repro.viz.heatmap import HeatmapBuilder, render_ascii_heatmap, render_svg_heatmap
 from repro.viz.timeline import wakeup_busy_fraction
 from repro.workloads.database import Database, query18
 from repro.workloads.transient import TransientLoad
+
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.figure3:database_trial"
 
 
 @dataclass
@@ -46,6 +57,8 @@ class Figure3Run:
     cores_per_node: int
     busy_wakeup_fraction: float
     violations: List[OfflineViolation]
+    #: Schedule fingerprint of the run (tracing does not perturb it).
+    schedule_digest: str = ""
 
     @property
     def violation_time_ms(self) -> float:
@@ -93,7 +106,69 @@ def run_database_traced(
         cores_per_node=topo.cores_per_node,
         busy_wakeup_fraction=wakeup_busy_fraction(probe.buffer),
         violations=violations,
+        schedule_digest=schedule_digest(system),
     )
+
+
+def database_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one traced database run from the spec.
+
+    The wakeup fraction and invariant-violation statistics are computed
+    inside the worker, so the row is cacheable; the trace itself rides
+    back as an artifact only when the ``artifact`` param is set (those
+    specs opt out of the cache).
+    """
+    queries = int(spec.param("queries", "8") or "8")
+    config = ExperimentConfig(
+        build_features(spec.features),
+        seed=spec.seed,
+        scale=spec.scale,
+        deadline_us=spec.deadline_us or 600 * SEC,
+    )
+    run = run_database_traced(config, queries=queries)
+    row: Dict[str, object] = {
+        "label": run.label,
+        "span_us": run.span_us,
+        "busy_wakeup_fraction": run.busy_wakeup_fraction,
+        "violation_episodes": len(run.violations),
+        "violation_time_ms": run.violation_time_ms,
+    }
+    want_artifact = spec.param("artifact") == "1"
+    return TrialResult(
+        row=row,
+        schedule_digest=run.schedule_digest,
+        stats={"sim_us": run.span_us},
+        artifact=run if want_artifact else None,
+    )
+
+
+def figure3_specs(
+    scale: float = 1.0,
+    seed: int = 42,
+    queries: int = 8,
+    artifact: bool = True,
+) -> List[TrialSpec]:
+    """The (buggy, fixed) traced-database trial pair."""
+    specs: List[TrialSpec] = []
+    for tokens in (
+        feature_tokens(autogroup=False),
+        feature_tokens("overload_on_wakeup", autogroup=False),
+    ):
+        params: tuple = (("queries", str(queries)),)
+        if artifact:
+            params += (("artifact", "1"),)
+        specs.append(
+            TrialSpec(
+                kind=TRIAL_KIND,
+                scenario="figure3:tpch",
+                seed=seed,
+                features=tokens,
+                scale=scale,
+                params=params,
+                cache=not artifact,
+            )
+        )
+    return specs
 
 
 @dataclass
@@ -104,19 +179,18 @@ class Figure3Result:
     fixed: Figure3Run
 
 
-def run_figure3(scale: float = 1.0, seed: int = 42) -> Figure3Result:
+def run_figure3(
+    scale: float = 1.0,
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure3Result:
     """Run the TPC-H scenario under the bug and the wakeup fix."""
-    base = SchedFeatures().without_autogroup()
-    return Figure3Result(
-        buggy=run_database_traced(
-            ExperimentConfig(base, seed=seed, scale=scale)
-        ),
-        fixed=run_database_traced(
-            ExperimentConfig(
-                base.with_fixes("overload_on_wakeup"), seed=seed, scale=scale
-            )
-        ),
+    run = run_trials(
+        figure3_specs(scale=scale, seed=seed), jobs=jobs, cache=cache
     )
+    buggy, fixed = (o.result.artifact for o in run.outcomes)
+    return Figure3Result(buggy=buggy, fixed=fixed)
 
 
 def render_figure3(

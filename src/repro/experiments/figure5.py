@@ -16,10 +16,17 @@ from __future__ import annotations
 import os
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.harness import ExperimentConfig
-from repro.sched.features import SchedFeatures
+from repro.experiments.harness import ExperimentConfig, schedule_digest
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
 from repro.viz.considered import (
     considered_core_sets,
     coverage_fraction,
@@ -35,6 +42,9 @@ OBSERVER_CPU = 0
 #: The core hotplugged to trigger the bug.
 HOTPLUGGED_CPU = 9
 
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.figure5:hotplug_trial"
+
 
 @dataclass
 class Figure5Run:
@@ -47,6 +57,8 @@ class Figure5Run:
     cores_per_node: int
     coverage: float
     balancing_calls: int
+    #: Schedule fingerprint of the run (tracing does not perturb it).
+    schedule_digest: str = ""
 
 
 def run_hotplug_traced(
@@ -85,7 +97,60 @@ def run_hotplug_traced(
         cores_per_node=topo.cores_per_node,
         coverage=coverage_fraction(events, topo.num_cpus),
         balancing_calls=len(events),
+        schedule_digest=schedule_digest(system),
     )
+
+
+def hotplug_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one post-hotplug traced run from the spec."""
+    nr_threads = int(spec.param("threads", "16") or "16")
+    run_ms = int(spec.param("run_ms", "200") or "200")
+    config = ExperimentConfig(
+        build_features(spec.features), seed=spec.seed, scale=spec.scale
+    )
+    run = run_hotplug_traced(config, nr_threads=nr_threads, run_ms=run_ms)
+    row: Dict[str, object] = {
+        "label": run.label,
+        "span_us": run.span_us,
+        "coverage": run.coverage,
+        "balancing_calls": run.balancing_calls,
+    }
+    want_artifact = spec.param("artifact") == "1"
+    return TrialResult(
+        row=row,
+        schedule_digest=run.schedule_digest,
+        stats={"sim_us": run.span_us},
+        artifact=run if want_artifact else None,
+    )
+
+
+def figure5_specs(
+    seed: int = 42,
+    nr_threads: int = 16,
+    run_ms: int = 200,
+    artifact: bool = True,
+) -> List[TrialSpec]:
+    """The (buggy, fixed) hotplug trial pair."""
+    specs: List[TrialSpec] = []
+    for tokens in (
+        feature_tokens(autogroup=False),
+        feature_tokens("missing_domains", autogroup=False),
+    ):
+        params: tuple = (("threads", str(nr_threads)),
+                         ("run_ms", str(run_ms)))
+        if artifact:
+            params += (("artifact", "1"),)
+        specs.append(
+            TrialSpec(
+                kind=TRIAL_KIND,
+                scenario="figure5:hotplug",
+                seed=seed,
+                features=tokens,
+                params=params,
+                cache=not artifact,
+            )
+        )
+    return specs
 
 
 @dataclass
@@ -96,15 +161,15 @@ class Figure5Result:
     fixed: Figure5Run
 
 
-def run_figure5(seed: int = 42) -> Figure5Result:
+def run_figure5(
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Figure5Result:
     """Run the hotplug scenario under the bug and the fix."""
-    base = SchedFeatures().without_autogroup()
-    return Figure5Result(
-        buggy=run_hotplug_traced(ExperimentConfig(base, seed=seed)),
-        fixed=run_hotplug_traced(
-            ExperimentConfig(base.with_fixes("missing_domains"), seed=seed)
-        ),
-    )
+    run = run_trials(figure5_specs(seed=seed), jobs=jobs, cache=cache)
+    buggy, fixed = (o.result.artifact for o in run.outcomes)
+    return Figure5Result(buggy=buggy, fixed=fixed)
 
 
 def render_figure5(

@@ -15,12 +15,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.sanity_checker import SanityChecker
-from repro.experiments.harness import ExperimentConfig
+from repro.experiments.harness import ExperimentConfig, schedule_digest
+from repro.perf.orchestrator import (
+    TrialResult,
+    TrialSpec,
+    run_trials,
+)
 from repro.sched.features import SchedFeatures
 from repro.sim.timebase import MS, SEC
 from repro.workloads.base import Run, Sleep, TaskSpec
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.overhead:overhead_trial"
 
 
 @dataclass
@@ -74,44 +83,99 @@ def _mixed_workload(system, threads: int, seed: int):
     return tasks
 
 
+def _one_overhead_run(
+    threads: int,
+    run_virtual_s: float,
+    check_interval_us: int,
+    seed: int,
+    checked: bool,
+) -> Dict[str, object]:
+    """One measured run, with or without the checker attached."""
+    config = ExperimentConfig(SchedFeatures(), seed=seed)
+    system = config.build_system()
+    _mixed_workload(system, threads, seed)
+    checker = None
+    if checked:
+        checker = SanityChecker(check_interval_us=check_interval_us)
+        checker.attach(system)
+    wall0 = time.perf_counter()
+    system.run_for(int(run_virtual_s * SEC))
+    wall = time.perf_counter() - wall0
+    return {
+        "virtual_seconds": system.now / SEC,
+        "wall_seconds": wall,
+        "migrations": system.scheduler.total_migrations,
+        "checks_performed": checker.checks_performed if checker else 0,
+        "schedule_digest": schedule_digest(system),
+    }
+
+
+def overhead_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one overhead measurement run from the spec.
+
+    Wall-clock is part of the result, so overhead specs never cache.
+    """
+    row = _one_overhead_run(
+        threads=int(spec.param("threads", "256") or "256"),
+        run_virtual_s=float(spec.param("virtual_s", "2.0") or "2.0"),
+        check_interval_us=int(spec.param("interval_us", str(SEC)) or SEC),
+        seed=spec.seed,
+        checked=spec.param("checked") == "1",
+    )
+    digest = str(row.pop("schedule_digest"))
+    return TrialResult(row=row, schedule_digest=digest)
+
+
+def overhead_specs(
+    threads: int = 256,
+    run_virtual_s: float = 2.0,
+    check_interval_us: int = 1 * SEC,
+    seed: int = 42,
+) -> List[TrialSpec]:
+    """The (plain, checked) measurement pair as trial specs."""
+    specs: List[TrialSpec] = []
+    for checked in ("0", "1"):
+        specs.append(
+            TrialSpec(
+                kind=TRIAL_KIND,
+                scenario="overhead:sanity-checker",
+                seed=seed,
+                params=(
+                    ("threads", str(threads)),
+                    ("virtual_s", repr(run_virtual_s)),
+                    ("interval_us", str(check_interval_us)),
+                    ("checked", checked),
+                ),
+                cache=False,
+            )
+        )
+    return specs
+
+
 def run_overhead(
     threads: int = 256,
     run_virtual_s: float = 2.0,
     check_interval_us: int = 1 * SEC,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> OverheadResult:
     """Identical workload with and without the checker attached."""
-    config = ExperimentConfig(SchedFeatures(), seed=seed)
-    horizon = int(run_virtual_s * SEC)
-
-    system = config.build_system()
-    _mixed_workload(system, threads, seed)
-    wall0 = time.perf_counter()
-    system.run_for(horizon)
-    wall_plain = time.perf_counter() - wall0
-    virtual_plain = system.now / SEC
-    migrations_plain = system.scheduler.total_migrations
-
-    system = config.build_system()
-    _mixed_workload(system, threads, seed)
-    checker = SanityChecker(check_interval_us=check_interval_us)
-    checker.attach(system)
-    wall0 = time.perf_counter()
-    system.run_for(horizon)
-    wall_checked = time.perf_counter() - wall0
-    virtual_checked = system.now / SEC
-    migrations_checked = system.scheduler.total_migrations
-
-    assert migrations_plain == migrations_checked, (
+    specs = overhead_specs(
+        threads=threads, run_virtual_s=run_virtual_s,
+        check_interval_us=check_interval_us, seed=seed,
+    )
+    plain, checked = (o.result.row for o in
+                      run_trials(specs, jobs=jobs).outcomes)
+    assert plain["migrations"] == checked["migrations"], (
         "sanity checker perturbed the schedule: "
-        f"{migrations_plain} vs {migrations_checked} migrations"
+        f"{plain['migrations']} vs {checked['migrations']} migrations"
     )
     return OverheadResult(
-        virtual_seconds_plain=virtual_plain,
-        virtual_seconds_checked=virtual_checked,
-        wall_seconds_plain=wall_plain,
-        wall_seconds_checked=wall_checked,
-        checks_performed=checker.checks_performed,
+        virtual_seconds_plain=float(plain["virtual_seconds"]),  # type: ignore[arg-type]
+        virtual_seconds_checked=float(checked["virtual_seconds"]),  # type: ignore[arg-type]
+        wall_seconds_plain=float(plain["wall_seconds"]),  # type: ignore[arg-type]
+        wall_seconds_checked=float(checked["wall_seconds"]),  # type: ignore[arg-type]
+        checks_performed=int(checked["checks_performed"]),  # type: ignore[arg-type]
         threads=threads,
     )
 

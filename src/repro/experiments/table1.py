@@ -10,21 +10,35 @@ runs on one node.  Speedups blow past 2x because of spin-synchronization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import (
     ExperimentConfig,
     node_cpuset,
+    schedule_digest,
     speedup,
+    system_stats,
 )
 from repro.experiments.report import Table
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
 from repro.sched.features import SchedFeatures
 from repro.sim.timebase import SEC
 from repro.workloads.nas import all_nas_names, nas_app
 
 #: The nodes the paper pins to: two hops apart on the Bulldozer machine.
 PINNED_NODES = (1, 2)
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.table1:nas_pinned_trial"
 
 
 @dataclass
@@ -34,6 +48,9 @@ class NasRunResult:
     seconds: float
     wakeup_p50_us: Optional[float] = None
     wakeup_p99_us: Optional[float] = None
+    #: Schedule fingerprint and counters of the run that produced this.
+    schedule_digest: str = ""
+    stats: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -78,7 +95,11 @@ def run_nas_pinned_result(
     tasks = [system.spawn(spec, parent_cpu=parent) for spec in app.thread_specs()]
     done = system.run_until_done(tasks, config.deadline_us)
     seconds = (config.deadline_us if not done else system.now) / SEC
-    result = NasRunResult(seconds)
+    result = NasRunResult(
+        seconds,
+        schedule_digest=schedule_digest(system),
+        stats=system_stats(system),
+    )
     if system.obs is not None:
         system.obs.close()
         latency = system.obs.recorder.wakeup_latency
@@ -86,6 +107,30 @@ def run_nas_pinned_result(
             result.wakeup_p50_us = latency.percentile(50)
             result.wakeup_p99_us = latency.percentile(99)
     return result
+
+
+def nas_pinned_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one pinned NAS run, rebuilt from the spec."""
+    app = spec.param("app")
+    if app is None:
+        raise ValueError("table1 trial spec is missing its 'app' param")
+    config = ExperimentConfig(
+        build_features(spec.features),
+        seed=spec.seed,
+        scale=spec.scale,
+        deadline_us=spec.deadline_us,
+        obs=spec.param("obs") == "1",
+    )
+    r = run_nas_pinned_result(config, app)
+    row: Dict[str, object] = {
+        "app": app,
+        "seconds": r.seconds,
+        "wakeup_p50_us": r.wakeup_p50_us,
+        "wakeup_p99_us": r.wakeup_p99_us,
+    }
+    return TrialResult(
+        row=row, schedule_digest=r.schedule_digest, stats=r.stats
+    )
 
 
 def run_nas_pinned(
@@ -97,37 +142,73 @@ def run_nas_pinned(
     return run_nas_pinned_result(config, app_name, nr_threads).seconds
 
 
+def table1_specs(
+    scale: float = 0.25,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    deadline_us: int = 600 * SEC,
+    obs: bool = False,
+) -> List[TrialSpec]:
+    """The flat trial grid of Table 1: (buggy, fixed) for every app."""
+    variants = (
+        feature_tokens(autogroup=False),
+        feature_tokens("group_construction", autogroup=False),
+    )
+    extra = (("obs", "1"),) if obs else ()
+    specs: List[TrialSpec] = []
+    for app_name in apps or all_nas_names():
+        for tokens in variants:
+            specs.append(
+                TrialSpec(
+                    kind=TRIAL_KIND,
+                    scenario=f"table1:{app_name}",
+                    seed=seed,
+                    features=tokens,
+                    scale=scale,
+                    deadline_us=deadline_us,
+                    params=(("app", app_name),) + extra,
+                )
+            )
+    return specs
+
+
+def _opt_float(value: object) -> Optional[float]:
+    return None if value is None else float(value)  # type: ignore[arg-type]
+
+
+def table1_rows(outcomes: Sequence[TrialOutcome]) -> List[Table1Row]:
+    """Merge trial outcomes (spec order: bug, fix per app) into rows."""
+    rows: List[Table1Row] = []
+    for i in range(0, len(outcomes), 2):
+        bug, fix = outcomes[i].result.row, outcomes[i + 1].result.row
+        rows.append(
+            Table1Row(
+                str(bug["app"]),
+                float(bug["seconds"]),  # type: ignore[arg-type]
+                float(fix["seconds"]),  # type: ignore[arg-type]
+                bug_wakeup_p50_us=_opt_float(bug["wakeup_p50_us"]),
+                bug_wakeup_p99_us=_opt_float(bug["wakeup_p99_us"]),
+                fix_wakeup_p50_us=_opt_float(fix["wakeup_p50_us"]),
+                fix_wakeup_p99_us=_opt_float(fix["wakeup_p99_us"]),
+            )
+        )
+    return rows
+
+
 def run_table1(
     scale: float = 0.25,
     apps: Optional[Sequence[str]] = None,
     seed: int = 42,
     deadline_us: int = 600 * SEC,
     obs: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Table1Row]:
-    """Both configurations for every app."""
-    rows: List[Table1Row] = []
-    buggy = ExperimentConfig(
-        SchedFeatures().without_autogroup(),
-        seed=seed, scale=scale, deadline_us=deadline_us, obs=obs,
+    """Both configurations for every app, through the orchestrator."""
+    specs = table1_specs(
+        scale=scale, apps=apps, seed=seed, deadline_us=deadline_us, obs=obs
     )
-    fixed = buggy.with_features(
-        SchedFeatures().with_fixes("group_construction").without_autogroup()
-    )
-    for app_name in apps or all_nas_names():
-        r_bug = run_nas_pinned_result(buggy, app_name)
-        r_fix = run_nas_pinned_result(fixed, app_name)
-        rows.append(
-            Table1Row(
-                app_name,
-                r_bug.seconds,
-                r_fix.seconds,
-                bug_wakeup_p50_us=r_bug.wakeup_p50_us,
-                bug_wakeup_p99_us=r_bug.wakeup_p99_us,
-                fix_wakeup_p50_us=r_fix.wakeup_p50_us,
-                fix_wakeup_p99_us=r_fix.wakeup_p99_us,
-            )
-        )
-    return rows
+    return table1_rows(run_trials(specs, jobs=jobs, cache=cache).outcomes)
 
 
 #: Speedup factors the paper reports, for shape comparison.

@@ -10,16 +10,27 @@ compared: no fixes, each fix alone, both.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import (
     ExperimentConfig,
-    averaged,
     improvement_pct,
+    repetition_seeds,
+    schedule_digest,
+    system_stats,
 )
 from repro.experiments.report import Table
-from repro.sched.features import SchedFeatures
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
 from repro.sim.timebase import SEC
 from repro.workloads.database import Database, query18, tpch_queries
 from repro.workloads.transient import TransientLoad
@@ -39,6 +50,9 @@ CONFIGS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("Overload-on-Wakeup", ("overload_on_wakeup",)),
     ("Both", ("group_imbalance", "overload_on_wakeup")),
 )
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.table2:tpch_trial"
 
 
 @dataclass
@@ -68,6 +82,16 @@ def run_tpch(
     ``workload``: ``"q18"`` (the paper's request 18, run ``repeats`` times)
     or ``"full"`` (the whole 22-query benchmark).
     """
+    seconds, _ = _run_tpch_system(config, workload, repeats)
+    return seconds
+
+
+def _run_tpch_system(
+    config: ExperimentConfig,
+    workload: str,
+    repeats: int = 3,
+) -> Tuple[float, object]:
+    """:func:`run_tpch`, also returning the finished system (for digests)."""
     system = config.build_system()
     db = Database(
         containers=CONTAINERS, seed=config.seed, think_time_us=1_000
@@ -94,39 +118,82 @@ def run_tpch(
     driver = system.spawn(db.driver_spec(queries), parent_cpu=0)
     done = system.run_until_done([driver], config.deadline_us)
     if not done:
-        return config.deadline_us / SEC
+        return config.deadline_us / SEC, system
     del workers
-    return sum(r.latency_us for r in db.results) / SEC
+    return sum(r.latency_us for r in db.results) / SEC, system
 
 
-def run_table2(
+def tpch_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one TPC-H run, rebuilt from the spec."""
+    workload = spec.param("workload")
+    if workload is None:
+        raise ValueError("table2 trial spec is missing its 'workload' param")
+    repeats = int(spec.param("repeats", "1") or "1")
+    config = ExperimentConfig(
+        build_features(spec.features),
+        seed=spec.seed,
+        scale=spec.scale,
+        deadline_us=spec.deadline_us,
+    )
+    seconds, system = _run_tpch_system(config, workload, repeats)
+    row: Dict[str, object] = {"workload": workload, "seconds": seconds}
+    return TrialResult(
+        row=row,
+        schedule_digest=schedule_digest(system),
+        stats=system_stats(system),
+    )
+
+
+def table2_specs(
     scale: float = 1.0,
     seed: int = 42,
     q18_repeats: int = 6,
     runs: int = 3,
     deadline_us: int = 900 * SEC,
+) -> List[TrialSpec]:
+    """The flat trial grid: config x workload x repetition seed."""
+    specs: List[TrialSpec] = []
+    for label, fixes in CONFIGS:
+        tokens = feature_tokens(*fixes)
+        for workload in ("q18", "full"):
+            repeats = q18_repeats if workload == "q18" else 1
+            for run_seed in repetition_seeds(seed, runs):
+                specs.append(
+                    TrialSpec(
+                        kind=TRIAL_KIND,
+                        scenario=f"table2:{label}:{workload}",
+                        seed=run_seed,
+                        features=tokens,
+                        scale=scale,
+                        deadline_us=deadline_us,
+                        params=(
+                            ("workload", workload),
+                            ("repeats", str(repeats)),
+                        ),
+                    )
+                )
+    return specs
+
+
+def table2_rows(
+    outcomes: Sequence[TrialOutcome], runs: int
 ) -> List[Table2Row]:
-    """All four configurations; each cell averaged over ``runs`` seeds
-    (the paper averages five runs)."""
+    """Average each (config, workload) cell and derive improvements."""
+    means: List[float] = []
+    for i in range(0, len(outcomes), runs):
+        group = outcomes[i:i + runs]
+        means.append(
+            statistics.mean(
+                float(o.result.row["seconds"])  # type: ignore[arg-type]
+                for o in group
+            )
+        )
     rows: List[Table2Row] = []
     base_q18: Optional[float] = None
     base_full: Optional[float] = None
-    for label, fixes in CONFIGS:
-        features = SchedFeatures().with_fixes(*fixes) if fixes else SchedFeatures()
-
-        def one(workload: str, run_seed: int) -> float:
-            config = ExperimentConfig(
-                features, seed=run_seed, scale=scale,
-                deadline_us=deadline_us,
-            )
-            return run_tpch(
-                config, workload,
-                repeats=q18_repeats if workload == "q18" else 1,
-            )
-
-        t_q18 = averaged(lambda s: one("q18", s), runs, base_seed=seed)
-        t_full = averaged(lambda s: one("full", s), runs, base_seed=seed)
-        if base_q18 is None:
+    for i, (label, _) in enumerate(CONFIGS):
+        t_q18, t_full = means[2 * i], means[2 * i + 1]
+        if base_q18 is None or base_full is None:
             base_q18, base_full = t_q18, t_full
             rows.append(
                 Table2Row(label, Table2Cell(t_q18, None),
@@ -141,6 +208,25 @@ def run_table2(
                 )
             )
     return rows
+
+
+def run_table2(
+    scale: float = 1.0,
+    seed: int = 42,
+    q18_repeats: int = 6,
+    runs: int = 3,
+    deadline_us: int = 900 * SEC,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Table2Row]:
+    """All four configurations; each cell averaged over ``runs`` seeds
+    (the paper averages five runs).  Trials fan out via the orchestrator."""
+    specs = table2_specs(
+        scale=scale, seed=seed, q18_repeats=q18_repeats, runs=runs,
+        deadline_us=deadline_us,
+    )
+    run = run_trials(specs, jobs=jobs, cache=cache)
+    return table2_rows(run.outcomes, runs)
 
 
 #: The paper's Table 2 percentages, for shape comparison.

@@ -12,14 +12,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import ExperimentConfig, speedup
+from repro.experiments.harness import (
+    ExperimentConfig,
+    schedule_digest,
+    speedup,
+    system_stats,
+)
 from repro.experiments.report import Table
+from repro.perf.orchestrator import (
+    ResultCache,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    run_trials,
+)
 from repro.sched.features import SchedFeatures
 from repro.sim.timebase import SEC
 from repro.workloads.nas import all_nas_names, nas_app
 
 #: The core the experiment disables and re-enables.
 HOTPLUGGED_CPU = 9
+
+#: The orchestrator reference to this module's trial function.
+TRIAL_KIND = "repro.experiments.table3:nas_hotplug_trial"
 
 
 @dataclass
@@ -55,7 +72,73 @@ def run_nas_after_hotplug(
     # All threads fork from the sshd-spawned shell on node 0.
     tasks = [system.spawn(spec, parent_cpu=0) for spec in app.thread_specs()]
     done = system.run_until_done(tasks, config.deadline_us)
-    return system.now / SEC, not done
+    return system.now / SEC, not done, system
+
+
+def nas_hotplug_trial(spec: TrialSpec) -> TrialResult:
+    """Orchestrator trial: one post-hotplug NAS run from the spec."""
+    app = spec.param("app")
+    if app is None:
+        raise ValueError("table3 trial spec is missing its 'app' param")
+    config = ExperimentConfig(
+        build_features(spec.features),
+        seed=spec.seed,
+        scale=spec.scale,
+        deadline_us=spec.deadline_us,
+    )
+    seconds, timed_out, system = run_nas_after_hotplug(config, app)
+    row: Dict[str, object] = {
+        "app": app, "seconds": seconds, "timed_out": timed_out,
+    }
+    return TrialResult(
+        row=row,
+        schedule_digest=schedule_digest(system),
+        stats=system_stats(system),
+    )
+
+
+def table3_specs(
+    scale: float = 0.1,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    deadline_us: int = 900 * SEC,
+) -> List[TrialSpec]:
+    """The flat trial grid of Table 3: (buggy, fixed) for every app."""
+    variants = (
+        feature_tokens(autogroup=False),
+        feature_tokens("missing_domains", autogroup=False),
+    )
+    specs: List[TrialSpec] = []
+    for app_name in apps or all_nas_names():
+        for tokens in variants:
+            specs.append(
+                TrialSpec(
+                    kind=TRIAL_KIND,
+                    scenario=f"table3:{app_name}",
+                    seed=seed,
+                    features=tokens,
+                    scale=scale,
+                    deadline_us=deadline_us,
+                    params=(("app", app_name),),
+                )
+            )
+    return specs
+
+
+def table3_rows(outcomes: Sequence[TrialOutcome]) -> List[Table3Row]:
+    """Merge trial outcomes (spec order: bug, fix per app) into rows."""
+    rows: List[Table3Row] = []
+    for i in range(0, len(outcomes), 2):
+        bug, fix = outcomes[i].result.row, outcomes[i + 1].result.row
+        rows.append(
+            Table3Row(
+                str(bug["app"]),
+                float(bug["seconds"]),  # type: ignore[arg-type]
+                float(fix["seconds"]),  # type: ignore[arg-type]
+                timed_out=bool(bug["timed_out"]),
+            )
+        )
+    return rows
 
 
 def run_table3(
@@ -63,20 +146,14 @@ def run_table3(
     apps: Optional[Sequence[str]] = None,
     seed: int = 42,
     deadline_us: int = 900 * SEC,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Table3Row]:
-    rows: List[Table3Row] = []
-    buggy = ExperimentConfig(
-        SchedFeatures().without_autogroup(),
-        seed=seed, scale=scale, deadline_us=deadline_us,
+    specs = table3_specs(
+        scale=scale, apps=apps, seed=seed, deadline_us=deadline_us
     )
-    fixed = buggy.with_features(
-        SchedFeatures().with_fixes("missing_domains").without_autogroup()
-    )
-    for app_name in apps or all_nas_names():
-        t_bug, timeout_bug = run_nas_after_hotplug(buggy, app_name)
-        t_fix, _ = run_nas_after_hotplug(fixed, app_name)
-        rows.append(Table3Row(app_name, t_bug, t_fix, timed_out=timeout_bug))
-    return rows
+    run = run_trials(specs, jobs=jobs, cache=cache)
+    return table3_rows(run.outcomes)
 
 
 #: Speedup factors from the paper's Table 3.

@@ -21,6 +21,17 @@ from repro.perf.bench import (
     benchmark_names,
     run_benchmark,
 )
+from repro.perf.orchestrator import (
+    OrchestratorRun,
+    PoolStats,
+    ResultCache,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    resolve_jobs,
+    run_trials,
+    source_tree_digest,
+)
 from repro.perf.store import (
     append_run,
     check_digests,
@@ -34,6 +45,15 @@ __all__ = [
     "ModeMetrics",
     "benchmark_names",
     "run_benchmark",
+    "OrchestratorRun",
+    "PoolStats",
+    "ResultCache",
+    "TrialOutcome",
+    "TrialResult",
+    "TrialSpec",
+    "resolve_jobs",
+    "run_trials",
+    "source_tree_digest",
     "append_run",
     "check_digests",
     "format_results",

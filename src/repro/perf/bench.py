@@ -146,7 +146,7 @@ class _Totals:
         self.heap_compactions += system.loop.compactions
 
 
-def _run_table4(fastpath: bool, quick: bool) -> _Totals:
+def _run_table4(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     duration = 250 * MS if quick else 1 * SEC
     totals = _Totals()
     start = time.perf_counter()
@@ -163,7 +163,7 @@ def _run_table4(fastpath: bool, quick: bool) -> _Totals:
     return totals
 
 
-def _run_figure2(fastpath: bool, quick: bool) -> _Totals:
+def _run_figure2(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     duration = 400 * MS if quick else 2 * SEC
     totals = _Totals()
     start = time.perf_counter()
@@ -191,7 +191,7 @@ def _build_soak64(fastpath: bool) -> System:
     return system
 
 
-def _run_soak64(fastpath: bool, quick: bool) -> _Totals:
+def _run_soak64(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     duration = 1 * SEC if quick else 10 * SEC
     totals = _Totals()
     start = time.perf_counter()
@@ -223,7 +223,7 @@ def _digest_records(buffer: TraceBuffer) -> str:
     return hasher.hexdigest()
 
 
-def _digest_table4(fastpath: bool) -> str:
+def _digest_table4(fastpath: bool, jobs: int = 1) -> str:
     parts: List[str] = []
     for bug in BUG_NAMES:
         buffer = TraceBuffer()
@@ -240,7 +240,7 @@ def _digest_table4(fastpath: bool) -> str:
     return hashlib.sha256("".join(parts).encode()).hexdigest()
 
 
-def _digest_figure2(fastpath: bool) -> str:
+def _digest_figure2(fastpath: bool, jobs: int = 1) -> str:
     buffer = TraceBuffer()
     probe = TraceProbe(buffer=buffer, record_load=False)
     scenario = build_bug_scenario(
@@ -254,7 +254,7 @@ def _digest_figure2(fastpath: bool) -> str:
     return _digest_records(buffer)
 
 
-def _digest_soak64(fastpath: bool) -> str:
+def _digest_soak64(fastpath: bool, jobs: int = 1) -> str:
     buffer = TraceBuffer()
     probe = TraceProbe(buffer=buffer, record_load=False)
     system = _build_soak64(fastpath)
@@ -263,14 +263,59 @@ def _digest_soak64(fastpath: bool) -> str:
     return _digest_records(buffer)
 
 
+def _report_jobs(fastpath: bool, jobs: int) -> int:
+    """The worker count for one ``report_wall`` mode.
+
+    The "fast" mode is the sharded orchestrator run (``jobs``, or one
+    worker per core when unspecified); the "baseline" mode is the
+    historical serial evaluation.  The speedup column therefore reads as
+    the orchestrator's parallel efficiency, and ``digest_match`` proves
+    the parallel run scheduled byte-for-byte what the serial run did.
+    """
+    from repro.perf.orchestrator import resolve_jobs
+
+    return resolve_jobs(jobs if jobs > 1 else 0) if fastpath else 1
+
+
+def _run_report(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
+    from repro.experiments.reportgen import QUICK_SCALE, generate_report
+
+    scale = QUICK_SCALE if quick else 0.1
+    totals = _Totals()
+    start = time.perf_counter()
+    result = generate_report(
+        scale=scale, jobs=_report_jobs(fastpath, jobs), cache=None
+    )
+    totals.wall_seconds = time.perf_counter() - start
+    totals.sim_us = result.counters.get("sim_us", 0)
+    totals.events_fired = result.counters.get("events_fired", 0)
+    totals.balance_calls = result.counters.get("balance_calls", 0)
+    totals.migrations = result.counters.get("migrations", 0)
+    return totals
+
+
+def _digest_report(fastpath: bool, jobs: int = 1) -> str:
+    from repro.experiments.reportgen import QUICK_SCALE, generate_report
+
+    result = generate_report(
+        scale=QUICK_SCALE, jobs=_report_jobs(fastpath, jobs), cache=None
+    )
+    return hashlib.sha256("".join(result.digests).encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class BenchSpec:
-    """One registered macro-benchmark."""
+    """One registered macro-benchmark.
+
+    ``run`` and ``digest`` take (fastpath, quick[, jobs]) -- the ``jobs``
+    knob only matters to ``report_wall``, where "fastpath" selects the
+    sharded orchestrator run and "baseline" the serial one.
+    """
 
     name: str
     description: str
-    run: Callable[[bool, bool], _Totals] = field(repr=False)
-    digest: Callable[[bool], str] = field(repr=False)
+    run: Callable[[bool, bool, int], _Totals] = field(repr=False)
+    digest: Callable[[bool, int], str] = field(repr=False)
 
 
 BENCHMARKS: Dict[str, BenchSpec] = {
@@ -294,6 +339,12 @@ BENCHMARKS: Dict[str, BenchSpec] = {
             _run_soak64,
             _digest_soak64,
         ),
+        BenchSpec(
+            "report_wall",
+            "full report evaluation, sharded orchestrator vs serial",
+            _run_report,
+            _digest_report,
+        ),
     )
 }
 
@@ -306,15 +357,17 @@ def run_benchmark(
     name: str,
     quick: bool = False,
     compare: bool = False,
+    jobs: int = 1,
 ) -> BenchResult:
     """Run one benchmark; with ``compare`` also measure the baseline mode.
 
     The digest is always computed for the fast mode; with ``compare`` it
-    is recomputed with the fast paths off and the two are checked for
+    is recomputed in baseline mode (fast paths off -- or, for
+    ``report_wall``, serial execution) and the two are checked for
     equality (the determinism contract of the optimization layer).
     """
     spec = BENCHMARKS[name]
-    fast_totals = spec.run(True, quick)
+    fast_totals = spec.run(True, quick, jobs)
     fast = ModeMetrics(
         wall_seconds=fast_totals.wall_seconds,
         sim_us=fast_totals.sim_us,
@@ -323,11 +376,11 @@ def run_benchmark(
         migrations=fast_totals.migrations,
         heap_compactions=fast_totals.heap_compactions,
     )
-    digest = spec.digest(True)
+    digest = spec.digest(True, jobs)
     baseline: Optional[ModeMetrics] = None
     digest_match: Optional[bool] = None
     if compare:
-        base_totals = spec.run(False, quick)
+        base_totals = spec.run(False, quick, jobs)
         baseline = ModeMetrics(
             wall_seconds=base_totals.wall_seconds,
             sim_us=base_totals.sim_us,
@@ -336,7 +389,7 @@ def run_benchmark(
             migrations=base_totals.migrations,
             heap_compactions=base_totals.heap_compactions,
         )
-        digest_match = spec.digest(False) == digest
+        digest_match = spec.digest(False, jobs) == digest
     return BenchResult(
         name=name,
         quick=quick,

@@ -1,0 +1,63 @@
+"""Parallel experiment orchestrator: sharded, cached trial evaluation.
+
+The evaluation of a paper about wasted cores should not waste every core
+but one.  This package splits every experiment into a flat list of
+independent :class:`TrialSpec`s, executes them across a
+``multiprocessing`` worker pool (``--jobs N`` / ``REPRO_JOBS``; serial by
+default, so nothing changes unless asked), and merges results
+deterministically in spec order -- a ``-j4`` run is byte-identical to
+``-j1``.  An on-disk content-addressed cache (spec fingerprint +
+source-tree digest) under ``.repro-cache/`` makes re-runs after
+result-irrelevant edits near-instant while a scheduler edit invalidates
+exactly the entries it could have changed.
+"""
+
+from repro.perf.orchestrator.cache import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    DEFAULT_CODE_PACKAGES,
+    ResultCache,
+    source_tree_digest,
+)
+from repro.perf.orchestrator.pool import (
+    JOBS_ENV,
+    START_METHOD_ENV,
+    resolve_jobs,
+    resolve_start_method,
+)
+from repro.perf.orchestrator.runner import (
+    OrchestratorRun,
+    PoolStats,
+    TrialOutcome,
+    WorkerStats,
+    run_trials,
+)
+from repro.perf.orchestrator.spec import (
+    TrialResult,
+    TrialSpec,
+    build_features,
+    feature_tokens,
+    resolve_kind,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_CODE_PACKAGES",
+    "JOBS_ENV",
+    "START_METHOD_ENV",
+    "OrchestratorRun",
+    "PoolStats",
+    "ResultCache",
+    "TrialOutcome",
+    "TrialResult",
+    "TrialSpec",
+    "WorkerStats",
+    "build_features",
+    "feature_tokens",
+    "resolve_jobs",
+    "resolve_kind",
+    "resolve_start_method",
+    "run_trials",
+    "source_tree_digest",
+]

@@ -62,8 +62,14 @@ def append_run(
     path: PathLike,
     results: Sequence[BenchResult],
     label: str = "",
+    jobs: int = 1,
 ) -> Dict[str, object]:
-    """Append one run (a set of benchmark results) to the trajectory."""
+    """Append one run (a set of benchmark results) to the trajectory.
+
+    ``jobs`` records the parallelism the run used (the ``--jobs`` knob of
+    ``repro bench``), so a trajectory reader can normalize wall-clock
+    numbers across runs taken on different worker counts.
+    """
     data = load_trajectory(path)
     runs = data["runs"]
     assert isinstance(runs, list)
@@ -71,6 +77,7 @@ def append_run(
         {
             "label": label,
             "quick": any(r.quick for r in results),
+            "jobs": jobs,
             "benchmarks": {r.name: r.to_json() for r in results},
         }
     )

@@ -1,0 +1,29 @@
+"""Trial helpers that break under a forked worker pool (bad half).
+
+Analyzed as ``repro.experiments.orchestrator_fork_bad``: three pieces of
+module-level mutable state, each a distinct fork hazard.
+"""
+
+import random
+
+from repro.obs.metrics import MetricsRegistry
+
+# Every forked worker inherits this generator in the *same* state, so
+# "independent" parallel trials draw correlated samples.
+_RNG = random.Random(1234)
+
+# Import-time registry: counters bumped inside a worker die with it.
+_METRICS = MetricsRegistry()
+
+# Cross-trial memo table: per-worker copies diverge, so -j1 and -j4 runs
+# see different cache histories.
+_RESULTS = {}
+
+
+def jitter_us():
+    return _RNG.randrange(100)
+
+
+def record(label, value):
+    _RESULTS[label] = value
+    _METRICS.counter("trials", "completed trials").inc()

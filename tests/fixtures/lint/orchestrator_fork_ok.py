@@ -1,0 +1,37 @@
+"""Fork-safe trial helpers (ok half).
+
+Analyzed as ``repro.experiments.orchestrator_fork_ok``: read-only module
+constants are fine, and anything mutable is built inside the trial
+function, so forked workers share nothing.
+"""
+
+import random
+
+#: Immutable spec table -- read-only module state is fork-safe.
+SCENARIOS = ("make", "tpch")
+
+#: Mapping that is only ever *read* after import: not a finding.
+PAPER_NUMBERS = {"make": 13.0, "tpch": 22.6}
+
+#: Same-named local below shadows this; the module copy is never mutated.
+ROW_TEMPLATE = {}
+
+
+def jitter_us(seed):
+    # The generator is rebuilt from the spec seed inside the worker.
+    rng = random.Random(seed)
+    return rng.randrange(100)
+
+
+def collect(labels):
+    out = {}
+    for label in labels:
+        out[label] = PAPER_NUMBERS.get(label, 0.0)
+    return out
+
+
+def fill(value):
+    # Local shadow: mutating it never touches the module-level template.
+    ROW_TEMPLATE = {}
+    ROW_TEMPLATE["value"] = value
+    return ROW_TEMPLATE

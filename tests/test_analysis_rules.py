@@ -235,6 +235,38 @@ def test_perf_load_bypass_alias_ok():
     assert findings == []
 
 
+# ------------------------------------------------------ orchestrator safety
+
+
+def test_orchestrator_fork_safety_bad():
+    # Module-level RNG, module-level MetricsRegistry, mutated module dict.
+    findings = lint_fixture(
+        "orchestrator_fork_bad.py",
+        "repro.experiments.orchestrator_fork_bad",
+    )
+    assert rule_ids(findings) == ["orchestrator-fork-safety"] * 3
+    assert "_RNG" in findings[0].message
+    assert "MetricsRegistry" in findings[1].message
+    assert "_RESULTS" in findings[2].message
+
+
+def test_orchestrator_fork_safety_ok():
+    findings = lint_fixture(
+        "orchestrator_fork_ok.py",
+        "repro.experiments.orchestrator_fork_ok",
+    )
+    assert findings == []
+
+
+def test_orchestrator_fork_safety_out_of_scope():
+    # Workload/sim modules never run inside pool workers as trial code.
+    findings = lint_fixture(
+        "orchestrator_fork_bad.py",
+        "repro.workloads.orchestrator_fork_bad",
+    )
+    assert findings == []
+
+
 # ------------------------------------------------------- mutation coherence
 
 

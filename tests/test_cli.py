@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,13 +63,42 @@ def test_figure3_command(capsys):
 
 def test_report_command(tmp_path, capsys):
     out_file = tmp_path / "report.md"
-    assert main(["report", "--scale", "0.03", "--output", str(out_file)]) == 0
+    cache_dir = str(tmp_path / "cache")
+    assert main([
+        "report", "--scale", "0.03", "--output", str(out_file),
+        "--jobs", "2", "--cache-dir", cache_dir,
+        "--digests-out", str(tmp_path / "d1.txt"),
+        "--utilization-out", str(tmp_path / "util.json"),
+    ]) == 0
     text = out_file.read_text()
     assert "# wastedcores reproduction report" in text
     for section in ("## Machine", "## Table 1", "## Table 2", "## Table 3",
                     "## Table 4", "## Figure 2", "## Figure 3",
                     "## Figure 5"):
         assert section in text
+    util = json.loads((tmp_path / "util.json").read_text())
+    assert util["jobs"] == 2
+
+    # A serial rerun answers from the cache and is byte-identical.
+    out_serial = tmp_path / "report-serial.md"
+    assert main([
+        "report", "--scale", "0.03", "--output", str(out_serial),
+        "--jobs", "1", "--cache-dir", cache_dir,
+        "--digests-out", str(tmp_path / "d2.txt"),
+    ]) == 0
+    assert out_serial.read_text() == text
+    assert (tmp_path / "d2.txt").read_text() == (
+        tmp_path / "d1.txt"
+    ).read_text()
+
+
+def test_report_command_no_cache(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    assert main([
+        "report", "--scale", "0.03", "--output", str(out_file), "--no-cache",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    assert not (tmp_path / "cache").exists()
 
 
 def test_overhead_command(capsys):

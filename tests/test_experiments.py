@@ -63,6 +63,26 @@ def test_quick_scale_env(monkeypatch):
         quick_scale()
 
 
+def test_quick_scale_error_messages(monkeypatch):
+    # Whitespace/empty values mean "unset", not an error.
+    monkeypatch.setenv("REPRO_SCALE", "  ")
+    assert quick_scale(0.75) == 0.75
+    # Non-numeric values name themselves and show a valid example.
+    monkeypatch.setenv("REPRO_SCALE", "fast")
+    with pytest.raises(
+        ValueError, match=r"REPRO_SCALE must be a number such as 0\.25"
+    ):
+        quick_scale()
+    # Finite and positive are required; the message echoes the input.
+    for bad in ("nan", "inf", "0", "-0.5"):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(
+            ValueError,
+            match=f"must be a positive finite number, got {bad!r}",
+        ):
+            quick_scale()
+
+
 def test_node_cpuset():
     topo = two_nodes(cores_per_node=2)
     assert node_cpuset(topo, [1]) == frozenset({2, 3})

@@ -1,0 +1,56 @@
+"""Acceptance: sharded experiment runs are byte-identical to serial ones.
+
+These are the ISSUE's equivalence gates at the driver level: the same
+table-4 summary and figure-2 rows (and every schedule digest) must come
+out of a ``--jobs 4`` pool as out of the historical serial path, and a
+warm result cache must replay a run without touching the simulator.
+Scales are tiny -- the point is identity, not fidelity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import figure2_specs
+from repro.experiments.table4 import run_table4_measured
+from repro.perf.orchestrator import ResultCache, run_trials
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def serial_table4():
+    return run_table4_measured(scale=SCALE, jobs=1)
+
+
+def test_table4_parallel_equivalence(serial_table4):
+    parallel = run_table4_measured(scale=SCALE, jobs=4)
+    assert parallel.measured == serial_table4.measured
+    assert parallel.digests == serial_table4.digests
+    assert parallel.stats.jobs == 4
+    assert parallel.stats.executed == serial_table4.stats.executed
+
+
+def test_table4_cache_round_trip(tmp_path, serial_table4):
+    cache = ResultCache(root=tmp_path / "cache", code_digest="c" * 64)
+    cold = run_table4_measured(scale=SCALE, jobs=1, cache=cache)
+    assert cold.measured == serial_table4.measured
+    assert cache.entry_count() == len(cold.digests)
+
+    warm_cache = ResultCache(root=tmp_path / "cache", code_digest="c" * 64)
+    warm = run_table4_measured(scale=SCALE, jobs=1, cache=warm_cache)
+    assert warm.measured == cold.measured
+    assert warm.digests == cold.digests
+    assert warm.stats.cache_hits == len(cold.digests)
+    assert warm.stats.executed == 0  # replayed entirely from disk
+
+
+def test_figure2_parallel_equivalence():
+    specs = figure2_specs(scale=0.1, traced=False)
+    serial = run_trials(specs, jobs=1)
+    parallel = run_trials(specs, jobs=4)
+    assert parallel.rows() == serial.rows()
+    assert parallel.digests() == serial.digests()
+    # The buggy/fixed pair really differs -- the digests prove the two
+    # trials are distinct schedules, not copies of one run.
+    assert len(set(serial.digests())) == len(specs)

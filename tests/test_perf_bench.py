@@ -47,7 +47,9 @@ def _result(name="table4", baseline_wall=None, digest="d" * 64):
 
 
 def test_registry_names():
-    assert benchmark_names() == ["table4", "figure2", "soak64"]
+    assert benchmark_names() == [
+        "table4", "figure2", "soak64", "report_wall",
+    ]
     for name, spec in BENCHMARKS.items():
         assert spec.name == name
         assert spec.description
