@@ -20,6 +20,7 @@ from repro.analysis.rules.flags import FeatureFlagRule
 from repro.analysis.rules.layering import LayeringRule, layering_rules
 from repro.analysis.rules.orchestrator import OrchestratorForkSafetyRule
 from repro.analysis.rules.perf import LoadBypassRule
+from repro.analysis.rules.sloreg import SloRegistryRule
 from repro.analysis.rules.tracepoints import TracepointConsistencyRule
 
 
@@ -34,6 +35,7 @@ def default_rules() -> List[Rule]:
         CoherenceRule(),
         TracepointConsistencyRule(),
         OrchestratorForkSafetyRule(),
+        SloRegistryRule(),
     ]
     rules.extend(layering_rules())
     return rules
@@ -49,6 +51,7 @@ __all__ = [
     "LayeringRule",
     "LoadBypassRule",
     "OrchestratorForkSafetyRule",
+    "SloRegistryRule",
     "layering_rules",
     "TracepointConsistencyRule",
 ]

@@ -37,7 +37,7 @@ from typing import Iterator, List, Optional, Set, Tuple
 from repro.analysis.core import FileContext, Finding, Rule
 
 #: Packages whose module globals end up inside pool workers.
-WORKER_SCOPE = ("repro.experiments", "repro.perf")
+WORKER_SCOPE = ("repro.experiments", "repro.perf", "repro.slo")
 
 #: RNG constructors that must not run at import time in worker modules.
 _RNG_CLASSES = {"Random", "SystemRandom"}

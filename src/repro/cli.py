@@ -21,6 +21,12 @@
                          [--sarif FILE] [--baseline FILE]
     python -m repro bench [--quick] [--compare] [--only NAME] [-j N]
                           [--out BENCH_sim.json] [--check-digests FILE]
+    python -m repro slo run [--registry PATH] [--scenario NAME] [--scale F]
+                            [-j N] [--json FILE]
+    python -m repro slo check [--baseline SLO_baseline.json]
+                              [--write-baseline] [-j N]
+    python -m repro replay record [--scenario NAME] [--scale F] [--out DIR]
+    python -m repro replay diff FILE [FILE ...]
     python -m repro --version
 """
 
@@ -316,6 +322,138 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _slo_progress(done: int, total: int, outcome) -> None:
+    origin = "cache" if outcome.cached else outcome.worker
+    print(
+        f"[{done}/{total}] {outcome.spec.label} "
+        f"({origin}, {outcome.wall_seconds:.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def _load_slo_registry(args):
+    """The scenario set the slo/replay flags select."""
+    from repro.slo.registry import find_scenarios, load_registry
+
+    scenarios = load_registry(args.registry or None)
+    if args.scenario:
+        scenarios = find_scenarios(scenarios, args.scenario)
+    return scenarios
+
+
+def _cmd_slo_run(args) -> int:
+    """Run the scenario registry and print per-scenario SLO verdicts."""
+    import json
+
+    from repro.slo.registry import run_registry
+
+    scenarios = _load_slo_registry(args)
+    report, run = run_registry(
+        scenarios,
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
+        progress=_slo_progress if args.progress else None,
+    )
+    print(run.stats.summary(), file=sys.stderr)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"SLO report written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_slo_check(args) -> int:
+    """Gate: compare current SLO verdicts against the committed baseline."""
+    import json
+
+    from repro.slo.registry import run_registry
+
+    scenarios = _load_slo_registry(args)
+    report, _ = run_registry(
+        scenarios,
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
+    )
+    verdicts = report.verdicts()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"SLO report written to {args.json}", file=sys.stderr)
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(
+                {"version": 1, "scale": args.scale, "verdicts": verdicts},
+                f, indent=2, sort_keys=True,
+            )
+            f.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --write-baseline "
+              "to record one", file=sys.stderr)
+        return 2
+    expected = baseline.get("verdicts", {})
+    status = 0
+    for key in sorted(set(expected) | set(verdicts)):
+        if key not in verdicts:
+            print(f"SLO REGRESSION: {key} in baseline but not evaluated")
+            status = 1
+        elif key not in expected:
+            print(f"SLO REGRESSION: {key} evaluated but not in baseline "
+                  "(re-baseline with --write-baseline)")
+            status = 1
+        elif expected[key] != verdicts[key]:
+            was = "PASS" if expected[key] else "FAIL"
+            now = "PASS" if verdicts[key] else "FAIL"
+            print(f"SLO REGRESSION: {key}: baseline {was}, now {now}")
+            status = 1
+    if status == 0:
+        print(f"SLO verdicts match {args.baseline} "
+              f"({len(verdicts)} scenario variants)")
+    else:
+        print(report.render())
+    return status
+
+
+def _cmd_replay_record(args) -> int:
+    """Record registry scenarios' runs as versioned JSONL trace files."""
+    from repro.slo.registry import compile_specs
+    from repro.slo.replay import record_trace, trace_filename
+
+    scenarios = _load_slo_registry(args)
+    os.makedirs(args.out, exist_ok=True)
+    count = 0
+    for scenario in scenarios:
+        for spec in compile_specs(scenario, scale=args.scale, record=True):
+            path = os.path.join(args.out, trace_filename(spec))
+            record_trace(spec, path)
+            print(f"recorded {path}")
+            count += 1
+    print(f"{count} recording(s) written to {args.out}")
+    return 0
+
+
+def _cmd_replay_diff(args) -> int:
+    """Re-drive recordings through the engine; exit 1 on any divergence."""
+    from repro.slo.replay import replay_trace
+
+    status = 0
+    for path in args.traces:
+        diff = replay_trace(path)
+        print(diff.format())
+        if diff.divergent:
+            status = 1
+    return status
+
+
 def _version() -> str:
     """Package version, from installed metadata when available."""
     try:
@@ -497,6 +635,87 @@ def build_parser() -> argparse.ArgumentParser:
         "mode (1 = one per core there); recorded in --out trajectories",
     )
     p.set_defaults(func=_cmd_bench)
+
+    def _slo_common(p, with_cache: bool = True) -> None:
+        p.add_argument(
+            "--registry", nargs="*", default=None, metavar="PATH",
+            help="scenario TOML files or directories (default: the "
+            "shipped registry under repro/slo/scenarios/)",
+        )
+        p.add_argument(
+            "--scenario", nargs="*", default=None, metavar="NAME",
+            help="run only these scenarios (default: all in the registry)",
+        )
+        p.add_argument(
+            "--scale", type=float, default=1.0,
+            help="multiply every scenario's duration by this factor",
+        )
+        if with_cache:
+            p.add_argument(
+                "-j", "--jobs", type=int, default=None, metavar="N",
+                help="worker processes (default: REPRO_JOBS or serial; "
+                "0 = one per core); verdicts are identical for any N",
+            )
+            p.add_argument("--no-cache", action="store_true")
+            p.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    p = sub.add_parser(
+        "slo", help="SLO reports: percentile/jitter verdicts per scenario"
+    )
+    slo_sub = p.add_subparsers(dest="slo_command", required=True)
+
+    p = slo_sub.add_parser(
+        "run", help="run the scenario registry and print SLO verdicts"
+    )
+    _slo_common(p)
+    p.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full SLO report as JSON to FILE",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print per-trial progress to stderr",
+    )
+    p.set_defaults(func=_cmd_slo_run)
+
+    p = slo_sub.add_parser(
+        "check", help="fail when SLO verdicts drift from the baseline"
+    )
+    _slo_common(p)
+    p.add_argument(
+        "--baseline", default="SLO_baseline.json", metavar="FILE",
+        help="committed verdict baseline (default: SLO_baseline.json)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current verdicts as the new baseline and exit 0",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full SLO report as JSON to FILE",
+    )
+    p.set_defaults(func=_cmd_slo_check)
+
+    p = sub.add_parser(
+        "replay", help="record scheduler traces and regression-diff replays"
+    )
+    replay_sub = p.add_subparsers(dest="replay_command", required=True)
+
+    p = replay_sub.add_parser(
+        "record", help="record registry scenarios to JSONL trace files"
+    )
+    _slo_common(p, with_cache=False)
+    p.add_argument(
+        "--out", default="slo-traces", metavar="DIR",
+        help="directory for the .trace.jsonl recordings",
+    )
+    p.set_defaults(func=_cmd_replay_record)
+
+    p = replay_sub.add_parser(
+        "diff", help="re-drive recordings through the engine and diff"
+    )
+    p.add_argument("traces", nargs="+", metavar="FILE")
+    p.set_defaults(func=_cmd_replay_diff)
 
     p = sub.add_parser("demo", help="run one bug's live demo")
     p.add_argument("bug", type=_bug_name, metavar="bug")

@@ -16,8 +16,19 @@ prints the plain-text table the ``repro metrics`` subcommand shows.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar, cast
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    cast,
+)
 
 from repro.sim.timebase import format_time
 
@@ -102,13 +113,14 @@ class Gauge(Metric):
 
 @dataclass
 class _HistogramSeries:
-    """Bucket counts plus exact count/sum/min/max for one label set."""
+    """Bucket counts plus exact count/sum/sum-of-squares/min/max."""
 
     buckets: List[int] = field(
         default_factory=lambda: [0] * _NUM_BUCKETS
     )
     count: int = 0
     sum: float = 0.0
+    sum_sq: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
 
@@ -128,6 +140,29 @@ class Histogram(Metric):
     land in different buckets no matter how lopsided the mix, so tail
     percentiles survive aggregation.  ``percentile`` answers from the
     buckets (upper-edge estimate, exact min/max clamped).
+
+    **Percentile error bound.**  Bucket ``i`` covers ``[2**(i-1), 2**i)``
+    (bucket 0 is ``[0, 1)``) and :meth:`percentile` reports the bucket's
+    inclusive upper edge ``2**i - 1``, clamped to the observed
+    ``[min, max]``.  For an integer-valued true percentile ``v >= 1``
+    falling in bucket ``i`` (all simulator times are integer
+    microseconds), the estimate ``e`` therefore satisfies
+
+    .. math::  v \\le e < 2v
+
+    -- the estimate never *under*-reports a latency and over-reports by
+    strictly less than a factor of two; values below 1 (bucket 0) are
+    reported as 0.  The clamp can only tighten this (``min``/``max`` are
+    exact), so the bound holds for every ``p``.
+    :func:`assert_percentile_bound` turns this contract into an
+    executable check against a list of raw samples -- the SLO test suite
+    runs it over every histogram it asserts on, so a bucket-layout change
+    that silently widens the estimation error fails loudly.
+
+    ``mean``, :meth:`variance` and :meth:`stddev` are exact (computed
+    from the running count/sum/sum-of-squares, not the buckets), which is
+    why jitter -- a standard deviation -- is SLO-gradeable while
+    percentiles carry the factor-of-two bound.
     """
 
     kind = "histogram"
@@ -149,6 +184,7 @@ class Histogram(Metric):
         series.buckets[_bucket_index(value)] += 1
         series.count += 1
         series.sum += value
+        series.sum_sq += value * value
         series.min = value if series.min is None else min(series.min, value)
         series.max = value if series.max is None else max(series.max, value)
 
@@ -163,6 +199,7 @@ class Histogram(Metric):
                 continue
             merged.count += series.count
             merged.sum += series.sum
+            merged.sum_sq += series.sum_sq
             for i, n in enumerate(series.buckets):
                 merged.buckets[i] += n
             if series.min is not None:
@@ -179,6 +216,47 @@ class Histogram(Metric):
     def mean(self, **labels: object) -> float:
         series = self._merged(labels)
         return series.sum / series.count if series.count else 0.0
+
+    def variance(self, **labels: object) -> float:
+        """Exact population variance of every observation (not estimated).
+
+        Computed from the running count/sum/sum-of-squares, so unlike
+        :meth:`percentile` it carries no bucketing error.  Clamped at 0
+        against floating-point cancellation.
+        """
+        series = self._merged(labels)
+        if series.count == 0:
+            return 0.0
+        mean = series.sum / series.count
+        return max(0.0, series.sum_sq / series.count - mean * mean)
+
+    def stddev(self, **labels: object) -> float:
+        """Exact population standard deviation (the jitter metric)."""
+        return self.variance(**labels) ** 0.5
+
+    def fraction_above(self, threshold: float, **labels: object) -> float:
+        """Estimated fraction of observations strictly above ``threshold``.
+
+        A bucket counts as above exactly when its inclusive upper edge
+        ``2**i - 1`` exceeds ``threshold``.  For integer observations
+        (all simulator times are integer microseconds) and thresholds of
+        the form ``2**k - 1`` (a bucket's upper edge) the answer is
+        therefore *exact*; for any other threshold the straddled bucket
+        is counted fully, so the estimate errs on the high (pessimistic)
+        side by at most that one bucket's mass.  SLO deadline specs use
+        ``2**k - 1`` thresholds to stay in the exact regime.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        series = self._merged(labels)
+        if series.count == 0:
+            return 0.0
+        above = 0
+        for i, n in enumerate(series.buckets):
+            upper = float((1 << i) - 1) if i else 0.0
+            if upper > threshold:
+                above += n
+        return above / series.count
 
     def percentile(self, p: float, **labels: object) -> float:
         """Estimated value at percentile ``p`` in [0, 100]."""
@@ -312,3 +390,53 @@ class MetricsSnapshot:
                 )
             )
         return out
+
+
+# -- exact-mode verification helpers -----------------------------------------
+#
+# The SLO test suite records the raw samples next to the histogram and uses
+# these helpers to bound the log-bucket estimation error at runtime.  They
+# live here (not in the tests) so the documented contract and its
+# executable form cannot drift apart.
+
+
+def exact_percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of raw samples (the exact reference)."""
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def assert_percentile_bound(
+    histogram: Histogram,
+    samples: Sequence[float],
+    p: float,
+    **labels: object,
+) -> float:
+    """Assert the documented factor-of-two percentile bound; return it.
+
+    ``samples`` must be the raw values observed into ``histogram`` (for
+    the given label subset).  Checks ``exact <= estimate < 2 * exact``
+    for exact values >= 1, and ``estimate <= exact`` below 1 (bucket 0
+    reports 0).  Returns the estimate so tests can chain further checks.
+    Raises :class:`AssertionError` with both values on violation.
+    """
+    estimate = histogram.percentile(p, **labels)
+    exact = exact_percentile(samples, p)
+    if exact >= 1.0:
+        if not exact <= estimate < 2.0 * exact:
+            raise AssertionError(
+                f"histogram {histogram.name} p{p}: estimate {estimate} "
+                f"outside [exact, 2*exact) for exact {exact}"
+            )
+    else:
+        if estimate > exact:
+            raise AssertionError(
+                f"histogram {histogram.name} p{p}: estimate {estimate} "
+                f"exceeds sub-unit exact value {exact}"
+            )
+    return estimate

@@ -9,6 +9,12 @@ the paper says standard tools throw away:
   cores exist.
 * ``sched_idle_gap_us`` -- histogram of per-CPU idle-period lengths, the
   short gaps ``htop``-style sampling averages away.
+* ``sched_slice_interarrival_us`` -- histogram of per-task gaps between
+  consecutive switch-ins.  Its exact standard deviation (the histogram
+  keeps a running sum of squares) is the *scheduling jitter* the SLO
+  layer reports: a task that runs on a metronomic cadence has near-zero
+  jitter; one starved behind an overloaded runqueue while cores idle
+  shows a fat, erratic inter-arrival spread.
 * ``sched_migrations_total`` by reason, ``sched_balance_total`` by
   (domain, outcome), ``sched_wakeups_total`` by idle/busy landing.
 * ``checker_*_total`` -- the sanity checker's detection funnel (checks,
@@ -50,6 +56,8 @@ class MetricsRecorder:
         self._wakeup_pending: Dict[int, int] = {}
         #: Per-CPU timestamp the runqueue last went empty; None while busy.
         self._idle_since: Dict[int, int] = {}
+        #: Per-task timestamp of the previous switch-in (jitter tracking).
+        self._last_switch_in: Dict[int, int] = {}
 
         m = self.metrics
         self._wakeup_latency = m.histogram(
@@ -58,6 +66,10 @@ class MetricsRecorder:
         )
         self._idle_gap = m.histogram(
             "sched_idle_gap_us", "per-CPU idle-period lengths"
+        )
+        self._slice_interarrival = m.histogram(
+            "sched_slice_interarrival_us",
+            "per-task gaps between consecutive switch-ins (jitter source)",
         )
         self._migrations = m.counter(
             "sched_migrations_total", "task migrations by reason"
@@ -131,6 +143,10 @@ class MetricsRecorder:
             woken_at = self._wakeup_pending.pop(next_tid, None)  # type: ignore[arg-type]
             if woken_at is not None:
                 self._wakeup_latency.observe(now - woken_at, cpu=cpu)
+            prev_run = self._last_switch_in.get(next_tid)  # type: ignore[arg-type]
+            if prev_run is not None and now > prev_run:
+                self._slice_interarrival.observe(now - prev_run)
+            self._last_switch_in[next_tid] = now  # type: ignore[index]
 
     def _on_nr_running(self, now: int, fields: Mapping[str, object]) -> None:
         cpu = fields["cpu"]
@@ -160,6 +176,7 @@ class MetricsRecorder:
         elif fields["kind"] == "exit":
             self._exits.inc()
             self._wakeup_pending.pop(fields["tid"], None)  # type: ignore[arg-type]
+            self._last_switch_in.pop(fields["tid"], None)  # type: ignore[arg-type]
 
     def _on_engine(self, now: int, fields: Mapping[str, object]) -> None:
         self._engine.inc(label=_label_class(str(fields.get("label", ""))))
@@ -185,6 +202,15 @@ class MetricsRecorder:
     def wakeup_latency(self) -> Histogram:
         """The wakeup-to-run latency histogram (acceptance metric)."""
         return self._wakeup_latency
+
+    @property
+    def slice_interarrival(self) -> Histogram:
+        """Per-task switch-in inter-arrival histogram (jitter source)."""
+        return self._slice_interarrival
+
+    def jitter_us(self) -> float:
+        """Scheduling jitter: exact stddev of switch-in inter-arrivals."""
+        return self._slice_interarrival.stddev()
 
     def latency_line(self) -> str:
         """One-line percentile summary for experiment tables."""

@@ -16,6 +16,13 @@ A short traced companion run produces a SHA-256 digest of the schedule
 (integer/string event fields only, so the digest is stable across float
 formatting differences) which must be identical with the fast paths on
 and off.
+
+A second, instrumented companion run folds each benchmark's
+representative scenario into SLO fields (wakeup-latency p50/p95/p99 and
+scheduling jitter), so ``BENCH_*.json`` trajectories double as an SLO
+dashboard (see :mod:`repro.slo`): the companion is seeded and separate
+from the wall-clock run, so observation cost never perturbs the
+measurement.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.scenarios import BUG_NAMES, build_bug_scenario
+from repro.obs.recorder import MetricsRecorder
+from repro.obs.session import ObsSession
+from repro.obs.tracepoints import TracepointRegistry
 from repro.sched.features import SchedFeatures
 from repro.sim.system import System
 from repro.sim.timebase import MS, SEC
@@ -79,6 +89,9 @@ class BenchResult:
     digest: str
     #: True/False once both modes' digests were computed, None otherwise.
     digest_match: Optional[bool]
+    #: Wakeup-latency percentiles + jitter from the instrumented
+    #: companion run (None for benchmarks without one).
+    slo: Optional[Dict[str, object]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -99,6 +112,7 @@ class BenchResult:
         }
         speedup = self.speedup
         obj["speedup"] = round(speedup, 2) if speedup is not None else None
+        obj["slo"] = self.slo
         return obj
 
 
@@ -263,6 +277,51 @@ def _digest_soak64(fastpath: bool, jobs: int = 1) -> str:
     return _digest_records(buffer)
 
 
+def _slo_fields(recorder: MetricsRecorder) -> Dict[str, object]:
+    """Fold one instrumented run into the trajectory's SLO columns."""
+    latency = recorder.wakeup_latency
+    return {
+        "wakeup_p50_us": latency.percentile(50),
+        "wakeup_p95_us": latency.percentile(95),
+        "wakeup_p99_us": latency.percentile(99),
+        "jitter_us": round(recorder.jitter_us(), 3),
+        "samples": latency.count(),
+    }
+
+
+def _slo_bug(bug: str, duration_us: int) -> Dict[str, object]:
+    """SLO companion for the bug-scenario benchmarks (buggy variant).
+
+    The session rides a private tracepoint registry so a bench run never
+    pollutes (or races with) the process-global bus; the buggy variant is
+    measured because that's the tail the trajectory should track.
+    """
+    holder: Dict[str, ObsSession] = {}
+
+    def instrument(system: System) -> None:
+        holder["obs"] = ObsSession.attach_to(
+            system, trace=False, registry=TracepointRegistry()
+        )
+
+    scenario = build_bug_scenario(
+        bug, "buggy", seed=1234, instrument=instrument
+    )
+    scenario.run(duration_us)
+    obs = holder["obs"]
+    obs.close()
+    return _slo_fields(obs.recorder)
+
+
+def _slo_soak64() -> Dict[str, object]:
+    system = _build_soak64(True)
+    obs = ObsSession.attach_to(
+        system, trace=False, registry=TracepointRegistry()
+    )
+    system.run_for(50 * MS)
+    obs.close()
+    return _slo_fields(obs.recorder)
+
+
 def _report_jobs(fastpath: bool, jobs: int) -> int:
     """The worker count for one ``report_wall`` mode.
 
@@ -316,6 +375,19 @@ class BenchSpec:
     description: str
     run: Callable[[bool, bool, int], _Totals] = field(repr=False)
     digest: Callable[[bool, int], str] = field(repr=False)
+    #: Optional instrumented companion producing wakeup-latency
+    #: percentiles and jitter for the trajectory's SLO columns.
+    slo: Optional[Callable[[], Dict[str, object]]] = field(
+        default=None, repr=False
+    )
+
+
+def _slo_table4() -> Dict[str, object]:
+    return _slo_bug("overload-on-wakeup", 100 * MS)
+
+
+def _slo_figure2() -> Dict[str, object]:
+    return _slo_bug("group-imbalance", 100 * MS)
 
 
 BENCHMARKS: Dict[str, BenchSpec] = {
@@ -326,18 +398,21 @@ BENCHMARKS: Dict[str, BenchSpec] = {
             "all four paper bugs, buggy+fixed, checker attached (1s each)",
             _run_table4,
             _digest_table4,
+            _slo_table4,
         ),
         BenchSpec(
             "figure2",
             "steady-state make+R group-imbalance workload (2s)",
             _run_figure2,
             _digest_figure2,
+            _slo_figure2,
         ),
         BenchSpec(
             "soak64",
             "64-core mixed hog/sleeper soak (10s)",
             _run_soak64,
             _digest_soak64,
+            _slo_soak64,
         ),
         BenchSpec(
             "report_wall",
@@ -390,6 +465,7 @@ def run_benchmark(
             heap_compactions=base_totals.heap_compactions,
         )
         digest_match = spec.digest(False, jobs) == digest
+    slo = spec.slo() if spec.slo is not None else None
     return BenchResult(
         name=name,
         quick=quick,
@@ -397,4 +473,5 @@ def run_benchmark(
         baseline=baseline,
         digest=digest,
         digest_match=digest_match,
+        slo=slo,
     )

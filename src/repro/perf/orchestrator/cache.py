@@ -39,8 +39,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Packages under ``repro/`` whose source feeds trial results.  Everything
 #: a trial's row can depend on is here: the scheduler model, the
 #: simulator, workloads and topologies, the experiment drivers, the bug
-#: registry/sanity checker (``core``), statistics, trace probes (``viz``)
-#: and the obs layer (latency columns).  Deliberately absent: ``analysis``
+#: registry/sanity checker (``core``), statistics, trace probes (``viz``),
+#: the obs layer (latency columns) and the SLO trial functions (``slo``).
+#: Deliberately absent: ``analysis``
 #: (offline lint), ``perf`` (this orchestrator), and the CLI -- editing
 #: those cannot change what a trial computes, so cached rows survive.
 DEFAULT_CODE_PACKAGES: Tuple[str, ...] = (
@@ -50,6 +51,7 @@ DEFAULT_CODE_PACKAGES: Tuple[str, ...] = (
     "obs",
     "sched",
     "sim",
+    "slo",
     "stats",
     "topology",
     "viz",

@@ -16,7 +16,10 @@ The trajectory is an append-only JSON document::
               "baseline": {...} | null,
               "speedup": 2.2 | null,
               "digest": "<sha256 of the seeded schedule>",
-              "digest_match": true | false | null
+              "digest_match": true | false | null,
+              "slo": {"wakeup_p50_us": ..., "wakeup_p95_us": ...,
+                      "wakeup_p99_us": ..., "jitter_us": ...,
+                      "samples": ...} | null
             },
             ...
           }
@@ -151,6 +154,15 @@ def format_results(results: Sequence[BenchResult]) -> str:
         "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
         for row in rows
     ]
+    for result in results:
+        slo = result.slo
+        if slo:
+            lines.append(
+                f"SLO {result.name}: wakeup p50/p95/p99 = "
+                f"{slo.get('wakeup_p50_us')}/{slo.get('wakeup_p95_us')}/"
+                f"{slo.get('wakeup_p99_us')}us, jitter "
+                f"{slo.get('jitter_us')}us (n={slo.get('samples')})"
+            )
     for result in results:
         if result.digest_match is False:
             lines.append(

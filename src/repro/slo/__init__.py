@@ -1,0 +1,56 @@
+"""SLO observability layer: percentile reports, scenario registry, replay.
+
+The paper's bugs are *tail* phenomena -- cores idle while runnable threads
+wait, inflating wakeup latency far beyond what averages show -- so this
+package turns the obs layer's histograms into service-level verdicts:
+
+* :mod:`repro.slo.report` computes per-scenario p50/p99/p99.9 wakeup
+  latency, scheduling jitter, deadline-miss rate, and idle-while-
+  overloaded density, and judges them against declarative thresholds.
+* :mod:`repro.slo.registry` loads TOML scenario specs (workload mix,
+  topology, features, seeds, thresholds) and compiles them to the
+  orchestrator's :class:`~repro.perf.orchestrator.TrialSpec` lists; the
+  paper's four bug scenarios ship as specs under ``scenarios/``.
+* :mod:`repro.slo.replay` records a run's scheduler event stream to a
+  versioned JSONL file and re-drives the scenario through the engine,
+  diffing schedule digests, SLO metrics, and the event stream itself to
+  pinpoint the first divergent event -- regression-diffing for engine
+  rewrites.
+"""
+
+from __future__ import annotations
+
+from repro.slo.registry import (
+    ScenarioSpec,
+    compile_specs,
+    load_registry,
+    load_scenario,
+    run_registry,
+    shipped_scenario_paths,
+)
+from repro.slo.replay import ReplayDiff, read_trace, record_trace, replay_trace
+from repro.slo.report import (
+    ScenarioReport,
+    SLOMetrics,
+    SLOReport,
+    SLOThresholds,
+    evaluate,
+)
+
+__all__ = [
+    "ReplayDiff",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "SLOMetrics",
+    "SLOReport",
+    "SLOThresholds",
+    "compile_specs",
+    "evaluate",
+    "load_registry",
+    "load_scenario",
+    "read_trace",
+    "record_trace",
+    "replay_trace",
+    "run_registry",
+    "shipped_scenario_paths",
+]

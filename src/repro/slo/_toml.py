@@ -1,0 +1,188 @@
+"""Minimal TOML loading for scenario specs.
+
+Python 3.11+ ships :mod:`tomllib`; the CI matrix still runs 3.9, and the
+repository vendors nothing, so this module falls back to a small parser
+covering exactly the subset the scenario schema uses: ``[table]`` /
+``[[array-of-tables]]`` headers, bare-key assignments, strings, integers,
+floats, booleans, and single-line arrays of those scalars.  The fallback
+is *not* a general TOML parser -- tests assert it agrees with
+:mod:`tomllib` on every shipped scenario file, which is the contract
+that matters.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+try:  # Python >= 3.11
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - exercised on the 3.9 CI leg
+    _tomllib = None
+
+PathLike = Union[str, Path]
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+class TOMLError(ValueError):
+    """A scenario file is not valid (subset-)TOML."""
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, honoring ``#`` inside quoted strings."""
+    out: List[str] = []
+    quote: Optional[str] = None
+    for ch in line:
+        if quote is not None:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_scalar(text: str, lineno: int) -> Any:
+    text = text.strip()
+    if not text:
+        raise TOMLError(f"line {lineno}: empty value")
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text, 10)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise TOMLError(f"line {lineno}: unsupported value {text!r}") from None
+
+
+def _split_array_items(body: str, lineno: int) -> List[str]:
+    items: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: List[str] = []
+    for ch in body:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None or depth != 0:
+        raise TOMLError(f"line {lineno}: unterminated array")
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+def _parse_value(text: str, lineno: int) -> Any:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        return [
+            _parse_value(item, lineno)
+            for item in _split_array_items(text[1:-1], lineno)
+        ]
+    return _parse_scalar(text, lineno)
+
+
+def _table_path(header: str, lineno: int) -> Tuple[str, ...]:
+    parts = tuple(p.strip() for p in header.split("."))
+    if not parts or any(not _BARE_KEY.match(p) for p in parts):
+        raise TOMLError(f"line {lineno}: bad table name [{header}]")
+    return parts
+
+
+def _descend(root: Dict[str, Any], path: Tuple[str, ...], lineno: int) -> Dict[str, Any]:
+    node: Any = root
+    for part in path:
+        if isinstance(node, list):
+            node = node[-1]
+        child = node.setdefault(part, {})
+        node = child
+    if isinstance(node, list):
+        node = node[-1]
+    if not isinstance(node, dict):
+        raise TOMLError(f"line {lineno}: {'.'.join(path)} is not a table")
+    return node
+
+
+def _parse_fallback(text: str) -> Dict[str, Any]:
+    root: Dict[str, Any] = {}
+    current = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            path = _table_path(line[2:-2], lineno)
+            parent = _descend(root, path[:-1], lineno)
+            entries = parent.setdefault(path[-1], [])
+            if not isinstance(entries, list):
+                raise TOMLError(
+                    f"line {lineno}: {path[-1]} is already a non-array table"
+                )
+            entries.append({})
+            current = entries[-1]
+        elif line.startswith("[") and line.endswith("]"):
+            path = _table_path(line[1:-1], lineno)
+            current = _descend(root, path, lineno)
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            key = key.strip()
+            if not _BARE_KEY.match(key):
+                raise TOMLError(f"line {lineno}: bad key {key!r}")
+            if key in current:
+                raise TOMLError(f"line {lineno}: duplicate key {key!r}")
+            current[key] = _parse_value(value, lineno)
+        else:
+            raise TOMLError(f"line {lineno}: cannot parse {raw.strip()!r}")
+    return root
+
+
+def parse_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML text (tomllib when available, subset fallback otherwise)."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TOMLError(str(exc)) from None
+    return _parse_fallback(text)
+
+
+def parse_toml_fallback(text: str) -> Dict[str, Any]:
+    """Parse with the subset parser unconditionally (for parity tests)."""
+    return _parse_fallback(text)
+
+
+def load_toml(path: PathLike) -> Dict[str, Any]:
+    """Read and parse one TOML file."""
+    return parse_toml(Path(path).read_text(encoding="utf-8"))

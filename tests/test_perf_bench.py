@@ -153,3 +153,54 @@ def test_cli_bench_check_digests_drift_fails(tmp_path):
 
 def test_cli_bench_unknown_benchmark():
     assert main(["bench", "--quick", "--only", "nope"]) == 2
+
+
+# ------------------------------------------------------------- SLO columns
+
+
+def test_bench_specs_carry_slo_companions():
+    # report_wall has no single representative scenario; the rest do.
+    assert BENCHMARKS["report_wall"].slo is None
+    for name in ("table4", "figure2", "soak64"):
+        assert BENCHMARKS[name].slo is not None, name
+
+
+def test_bench_result_json_carries_slo_fields():
+    slo = {
+        "wakeup_p50_us": 100.0,
+        "wakeup_p95_us": 200.0,
+        "wakeup_p99_us": 400.0,
+        "jitter_us": 3.5,
+        "samples": 42,
+    }
+    result = _result()
+    assert result.slo is None
+    assert result.to_json()["slo"] is None
+    with_slo = BenchResult(
+        name="table4",
+        quick=True,
+        fast=_metrics(),
+        baseline=None,
+        digest="d" * 64,
+        digest_match=None,
+        slo=slo,
+    )
+    assert with_slo.to_json()["slo"] == slo
+    text = format_results([with_slo])
+    assert "SLO table4" in text
+    assert "p50/p95/p99 = 100.0/200.0/400.0us" in text
+    assert "jitter 3.5us (n=42)" in text
+
+
+def test_slo_companion_measures_real_run():
+    from repro.perf.bench import _slo_bug
+    from repro.sim.timebase import MS
+
+    fields = _slo_bug("overload-on-wakeup", 10 * MS)
+    assert set(fields) == {
+        "wakeup_p50_us", "wakeup_p95_us", "wakeup_p99_us",
+        "jitter_us", "samples",
+    }
+    assert fields["samples"] > 0
+    # Deterministic: the companion is seeded, so a rerun agrees exactly.
+    assert _slo_bug("overload-on-wakeup", 10 * MS) == fields

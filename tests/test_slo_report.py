@@ -1,0 +1,177 @@
+"""Unit tests for SLO metrics, thresholds, verdicts, and the histogram
+contracts the report layer leans on (percentile bound, exact jitter,
+exact miss-rate at power-of-two deadlines)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    assert_percentile_bound,
+    exact_percentile,
+)
+from repro.slo.report import (
+    ScenarioReport,
+    SLOMetrics,
+    SLOReport,
+    SLOThresholds,
+    evaluate,
+)
+
+
+def metrics(**overrides):
+    base = dict(
+        wakeup_p50_us=100.0,
+        wakeup_p99_us=500.0,
+        wakeup_p999_us=900.0,
+        jitter_us=10.0,
+        deadline_miss_rate=0.01,
+        idle_overload_fraction=0.0,
+        samples=1000,
+    )
+    base.update(overrides)
+    return SLOMetrics(**base)
+
+
+# ------------------------------------------------------------- thresholds
+
+
+def test_thresholds_from_mapping_roundtrip():
+    t = SLOThresholds.from_mapping({"max_p99_us": 1000, "max_miss_rate": 0.1})
+    assert t.max_p99_us == 1000.0
+    assert t.max_miss_rate == 0.1
+    assert t.max_p50_us is None
+    assert t.to_json() == {"max_p99_us": 1000.0, "max_miss_rate": 0.1}
+
+
+def test_thresholds_reject_unknown_keys():
+    with pytest.raises(ValueError, match="unknown SLO threshold"):
+        SLOThresholds.from_mapping({"max_p42_us": 1})
+
+
+def test_thresholds_reject_non_numeric():
+    with pytest.raises(ValueError, match="must be a number"):
+        SLOThresholds.from_mapping({"max_p99_us": "fast"})
+    with pytest.raises(ValueError, match="must be a number"):
+        SLOThresholds.from_mapping({"max_p99_us": True})
+
+
+# --------------------------------------------------------------- verdicts
+
+
+def test_evaluate_passes_within_bounds():
+    verdict = evaluate(metrics(), SLOThresholds(max_p99_us=500.0))
+    assert verdict.passed
+    assert verdict.failures == ()
+
+
+def test_evaluate_names_every_violated_bound():
+    verdict = evaluate(
+        metrics(wakeup_p99_us=2000.0, jitter_us=80.0),
+        SLOThresholds(max_p99_us=1000.0, max_jitter_us=50.0,
+                      max_miss_rate=0.5),
+    )
+    assert not verdict.passed
+    assert verdict.failures == ("p99 2000 > 1000", "jitter 80 > 50")
+
+
+def test_evaluate_ignores_unset_bounds():
+    verdict = evaluate(metrics(wakeup_p999_us=1e9), SLOThresholds())
+    assert verdict.passed
+
+
+# ---------------------------------------------------------------- folding
+
+
+def test_worst_of_is_pointwise_max_with_summed_samples():
+    worst = SLOMetrics.worst_of([
+        metrics(wakeup_p50_us=10.0, jitter_us=99.0, samples=5),
+        metrics(wakeup_p50_us=20.0, jitter_us=1.0, samples=7),
+    ])
+    assert worst.wakeup_p50_us == 20.0
+    assert worst.jitter_us == 99.0
+    assert worst.samples == 12
+
+
+def test_worst_of_rejects_empty():
+    with pytest.raises(ValueError):
+        SLOMetrics.worst_of([])
+
+
+def test_metrics_row_roundtrip():
+    m = metrics(jitter_us=12.3456789, deadline_miss_rate=0.1234567)
+    row = m.to_json()
+    back = SLOMetrics.from_row(row)
+    assert back.wakeup_p50_us == m.wakeup_p50_us
+    assert back.samples == m.samples
+    # to_json rounds: the round trip is exact at the serialized precision.
+    assert back.jitter_us == round(m.jitter_us, 3)
+    assert back.deadline_miss_rate == round(m.deadline_miss_rate, 6)
+
+
+# ----------------------------------------------- scenario / report shapes
+
+
+def test_scenario_report_verdict_and_render():
+    report = ScenarioReport(
+        scenario="demo",
+        variant="buggy",
+        thresholds=SLOThresholds(max_p50_us=50.0),
+        per_seed=[(42, metrics(wakeup_p50_us=100.0))],
+        schedule_digests=["abc"],
+    )
+    assert report.key == "demo/buggy"
+    assert not report.verdict.passed
+    full = SLOReport(scenarios=[report])
+    assert full.verdicts() == {"demo/buggy": False}
+    text = full.render()
+    assert "demo" in text and "FAIL" in text
+    assert "p50 100 > 50" in text
+    payload = full.to_json()
+    assert payload["version"] == 1
+    assert payload["verdicts"] == {"demo/buggy": False}
+
+
+# ------------------------------------------- histogram contract backstops
+
+
+def test_percentile_bound_on_synthetic_samples():
+    registry = MetricsRegistry()
+    h = registry.histogram("t", "test")
+    rng = random.Random(7)
+    samples = [rng.randint(0, 100_000) for _ in range(5000)]
+    for s in samples:
+        h.observe(s)
+    for p in (50, 90, 99, 99.9):
+        estimate = assert_percentile_bound(h, samples, p)
+        assert estimate >= exact_percentile(samples, p)
+
+
+def test_percentile_bound_raises_on_violation():
+    registry = MetricsRegistry()
+    h = registry.histogram("t", "test")
+    h.observe(100)
+    with pytest.raises(AssertionError, match="outside"):
+        # Lying about the raw samples must trip the bound check.
+        assert_percentile_bound(h, [1000], 50)
+
+
+def test_jitter_is_exact_stddev():
+    registry = MetricsRegistry()
+    h = registry.histogram("t", "test")
+    values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+    for v in values:
+        h.observe(v)
+    assert h.stddev() == pytest.approx(statistics.pstdev(values))
+
+
+def test_fraction_above_exact_at_power_of_two_deadline():
+    registry = MetricsRegistry()
+    h = registry.histogram("t", "test")
+    values = [100, 1000, 1023, 1024, 2000, 5000]
+    for v in values:
+        h.observe(v)
+    exact = sum(1 for v in values if v > 1023) / len(values)
+    assert h.fraction_above(1023) == exact
