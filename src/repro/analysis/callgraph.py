@@ -14,6 +14,11 @@ resolve:
 * ``alias.f(...)`` -- a function of an imported module
   (``from repro.sched import balance as lb; lb.periodic_balance(...)``).
 
+``super().m(...)`` additionally resolves to the method of the *nearest
+bare-name base* of the enclosing class that defines it -- the zero-arg
+``super()`` idiom this codebase uses (two-arg ``super(X, y)`` is treated
+the same way; the analyzer does not model explicit MRO restarts).
+
 Plain attribute *reads* that resolve to a method also produce an edge:
 that is how ``rq.nr_running`` (a property) connects the balancer's
 dependency closure to the fields the property actually touches.
@@ -70,7 +75,7 @@ class CallGraph:
         files: Sequence[Tuple[str, str, ast.Module]],
     ) -> "CallGraph":
         graph = cls()
-        aliases = _module_aliases(files)
+        aliases = module_aliases(files)
         for fn in table.functions.values():
             graph._scan_function(table, fn, aliases.get(fn.module, {}))
         return graph
@@ -89,7 +94,7 @@ class CallGraph:
         for sub in ast.walk(node):
             if isinstance(sub, ast.Call):
                 call_funcs.add(id(sub.func))
-                callee = self._resolve_call(table, fn, sub, env, aliases)
+                callee = resolve_call(table, fn, sub, env, aliases)
                 if callee is not None:
                     self._add(CallSite(fn.qualname, callee, sub.lineno))
         # Second walk: attribute reads resolving to methods (properties
@@ -110,48 +115,71 @@ class CallGraph:
                         kind="property",
                     ))
 
-    def _resolve_call(
-        self,
-        table: SymbolTable,
-        fn: FunctionInfo,
-        call: ast.Call,
-        env: Dict[str, Optional[TypeRef]],
-        aliases: Dict[str, str],
-    ) -> Optional[str]:
-        func = call.func
-        if isinstance(func, ast.Name):
-            info = table.resolve_class(func.id)
-            if info is not None:
-                ctor = info.methods.get("__init__")
-                return ctor.qualname if ctor is not None else None
-            target = table.module_function(fn.module, func.id)
-            if target is not None:
-                return target.qualname
-            # ``from mod import f`` -- the alias maps straight to a
-            # function qualname.
-            dotted = aliases.get(func.id)
-            if dotted is not None and dotted in table.functions:
-                return dotted
-            return None
-        if isinstance(func, ast.Attribute):
-            if isinstance(func.value, ast.Name):
-                # Module-alias call (``lb.periodic_balance``) -- but only
-                # when the name is not a typed local shadowing the alias.
-                if func.value.id not in env or env[func.value.id] is None:
-                    dotted = aliases.get(func.value.id)
-                    if dotted is not None:
-                        qual = f"{dotted}.{func.attr}"
-                        if qual in table.functions:
-                            return qual
-            base = table.infer_expr(func.value, env)
-            if base is None:
-                return None
-            target = table.method(base.name, func.attr)
-            return target.qualname if target is not None else None
+def _is_super_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "super"
+    )
+
+
+def resolve_call(
+    table: SymbolTable,
+    fn: FunctionInfo,
+    call: ast.Call,
+    env: Dict[str, Optional[TypeRef]],
+    aliases: Dict[str, str],
+) -> Optional[str]:
+    """The qualname one call expression resolves to, or None.
+
+    The resolver the graph builder uses, exposed so interprocedural
+    passes (effect taint, purity certification) can resolve *specific*
+    call expressions against the same rules the graph was built with.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        info = table.resolve_class(func.id)
+        if info is not None:
+            ctor = info.methods.get("__init__")
+            return ctor.qualname if ctor is not None else None
+        target = table.module_function(fn.module, func.id)
+        if target is not None:
+            return target.qualname
+        # ``from mod import f`` -- the alias maps straight to a
+        # function qualname.
+        dotted = aliases.get(func.id)
+        if dotted is not None and dotted in table.functions:
+            return dotted
         return None
+    if isinstance(func, ast.Attribute):
+        if _is_super_call(func.value) and fn.cls is not None:
+            # ``super().m(...)``: the method of the nearest declaring
+            # base, starting from the enclosing class's direct bases.
+            info = table.resolve_class(fn.cls)
+            if info is not None:
+                for base in info.bases:
+                    target = table.method(base, func.attr)
+                    if target is not None:
+                        return target.qualname
+            return None
+        if isinstance(func.value, ast.Name):
+            # Module-alias call (``lb.periodic_balance``) -- but only
+            # when the name is not a typed local shadowing the alias.
+            if func.value.id not in env or env[func.value.id] is None:
+                dotted = aliases.get(func.value.id)
+                if dotted is not None:
+                    qual = f"{dotted}.{func.attr}"
+                    if qual in table.functions:
+                        return qual
+        base = table.infer_expr(func.value, env)
+        if base is None:
+            return None
+        target = table.method(base.name, func.attr)
+        return target.qualname if target is not None else None
+    return None
 
 
-def _module_aliases(
+def module_aliases(
     files: Sequence[Tuple[str, str, ast.Module]],
 ) -> Dict[str, Dict[str, str]]:
     """Per-module map of local import names to dotted targets.

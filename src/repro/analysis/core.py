@@ -179,6 +179,11 @@ class Rule:
     rule_id: str = ""
     description: str = ""
     scope: Optional[Tuple[str, ...]] = None
+    #: True when the rule accumulates whole-program state across files
+    #: (its :meth:`finalize` findings depend on every visited file).  The
+    #: parallel runner keeps cross-file rules in the parent process and
+    #: only shards the per-file rules across workers.
+    cross_file: bool = False
 
     def wants(self, module: str) -> bool:
         """Whether :meth:`visit` should see the module at all."""

@@ -20,7 +20,9 @@ from repro.analysis.rules.flags import FeatureFlagRule
 from repro.analysis.rules.layering import LayeringRule, layering_rules
 from repro.analysis.rules.orchestrator import OrchestratorForkSafetyRule
 from repro.analysis.rules.perf import LoadBypassRule
+from repro.analysis.rules.purity import PureHotPathRule
 from repro.analysis.rules.sloreg import SloRegistryRule
+from repro.analysis.rules.taint import TaintRule
 from repro.analysis.rules.tracepoints import TracepointConsistencyRule
 
 
@@ -33,6 +35,8 @@ def default_rules() -> List[Rule]:
         FeatureFlagRule(),
         LoadBypassRule(),
         CoherenceRule(),
+        TaintRule(),
+        PureHotPathRule(),
         TracepointConsistencyRule(),
         OrchestratorForkSafetyRule(),
         SloRegistryRule(),
@@ -41,8 +45,21 @@ def default_rules() -> List[Rule]:
     return rules
 
 
+def split_rules(rules: List[Rule]) -> "tuple[List[Rule], List[Rule]]":
+    """(per-file, cross-file) partition for the parallel runner.
+
+    Per-file rules are stateless across files and may run in worker
+    shards; cross-file rules accumulate whole-program state and must see
+    every file in one process.
+    """
+    per_file = [r for r in rules if not r.cross_file]
+    cross = [r for r in rules if r.cross_file]
+    return per_file, cross
+
+
 __all__ = [
     "default_rules",
+    "split_rules",
     "CoherenceRule",
     "UnseededRandomRule",
     "WallClockRule",
@@ -51,7 +68,9 @@ __all__ = [
     "LayeringRule",
     "LoadBypassRule",
     "OrchestratorForkSafetyRule",
+    "PureHotPathRule",
     "SloRegistryRule",
+    "TaintRule",
     "layering_rules",
     "TracepointConsistencyRule",
 ]

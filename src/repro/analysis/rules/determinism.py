@@ -36,6 +36,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.core import FileContext, Finding, Rule
+from repro.analysis.effects import (
+    ORDER_FREE_CONSUMERS,
+    ORDER_KEEPING_CALLS,
+    RNG_ALLOWED,
+    SET_METHODS,
+    SET_TYPE_NAMES,
+    WALL_CALLS,
+    WALL_IMPORTS,
+)
 
 #: Module prefixes whose behavior feeds simulated state.
 HOT_SCOPE = ("repro.sched", "repro.sim", "repro.core")
@@ -63,8 +72,10 @@ class UnseededRandomRule(Rule):
     )
     scope: Optional[Tuple[str, ...]] = None  # the whole tree must reproduce
 
-    #: Constructors of private generators -- the approved idiom.
-    _ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+    #: Constructors of private generators -- the approved idiom.  Shared
+    #: with the whole-program taint rule (one source vocabulary: see
+    #: ``repro.analysis.effects``) so the two can never drift apart.
+    _ALLOWED = RNG_ALLOWED
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -108,32 +119,9 @@ class WallClockRule(Rule):
     )
     scope = HOT_SCOPE
 
-    _WALL_CALLS = {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "datetime.now",
-        "datetime.utcnow",
-        "datetime.today",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.date.today",
-    }
-    _WALL_IMPORTS = {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "process_time",
-        "process_time_ns",
-    }
+    #: Shared with the effect engine / taint rule (one wall-clock list).
+    _WALL_CALLS = WALL_CALLS
+    _WALL_IMPORTS = WALL_IMPORTS
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -162,40 +150,15 @@ class WallClockRule(Rule):
                     )
 
 
-#: Annotation heads that denote set types.
-_SET_ANNOTATIONS = {
-    "Set",
-    "FrozenSet",
-    "AbstractSet",
-    "MutableSet",
-    "set",
-    "frozenset",
-}
-
-#: Set-algebra methods whose result is itself an unordered set.
-_SET_METHODS = {
-    "union",
-    "intersection",
-    "difference",
-    "symmetric_difference",
-    "copy",
-}
-
-#: Callables that consume an iterable order-insensitively.
-_ORDER_FREE_CONSUMERS = {
-    "sorted",
-    "sum",
-    "min",
-    "max",
-    "any",
-    "all",
-    "len",
-    "set",
-    "frozenset",
-}
-
-#: Callables whose output order mirrors (nondeterministic) input order.
-_ORDER_KEEPING_CALLS = {"iter", "list", "tuple", "enumerate"}
+#: The shared set/order vocabulary lives in ``repro.analysis.effects``;
+#: the local aliases keep this module's historical names working.  The
+#: whole-program taint rule consumes the same frozensets, so what this
+#: rule treats as provably ordered, the taint rule sanitizes -- and vice
+#: versa.
+_SET_ANNOTATIONS = SET_TYPE_NAMES
+_SET_METHODS = SET_METHODS
+_ORDER_FREE_CONSUMERS = ORDER_FREE_CONSUMERS
+_ORDER_KEEPING_CALLS = ORDER_KEEPING_CALLS
 
 
 def _annotation_kind(annotation: Optional[ast.AST]) -> Optional[str]:
@@ -232,6 +195,7 @@ class SetIterationRule(Rule):
         "or use an ordered container"
     )
     scope = HOT_SCOPE
+    cross_file = True  # attr disambiguation needs project-wide annotations
 
     def __init__(self) -> None:
         #: attr name -> kinds seen anywhere in the project ("set"/"other").
@@ -357,6 +321,20 @@ class SetIterationRule(Rule):
                     and func.id in _ORDER_KEEPING_CALLS
                     and node.args
                 ):
+                    consumer = parents.get(node)
+                    if (
+                        isinstance(consumer, ast.Call)
+                        and isinstance(consumer.func, ast.Name)
+                        and consumer.func.id in _ORDER_FREE_CONSUMERS
+                        and len(consumer.args) >= 1
+                        and consumer.args[0] is node
+                    ):
+                        # ``sorted(list(s))``, ``sum(tuple(s))`` -- the
+                        # order-keeping wrapper feeds straight into an
+                        # order-free consumer, so the laundered order
+                        # never escapes.  Same sanitizer the taint rule
+                        # applies (shared ORDER_FREE_CONSUMERS list).
+                        continue
                     yield node.args[0], node, f"{func.id}()"
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:

@@ -134,21 +134,34 @@ def _cmd_demo(args) -> int:
     if args.sanitize:
         transform = lambda f: f.with_sanitizer()  # noqa: E731
 
-    for variant in ("buggy", "fixed"):
-        scenario = build_bug_scenario(
-            args.bug, variant, features_transform=transform
-        )
-        scenario.run()
-        system = scenario.system
-        print(f"--- {scenario.bug} [{variant}]")
-        print(f"  {system.scheduler.features.describe()}")
-        busy = node_busy_times(system)
-        print(f"  node busy core-seconds: "
-              f"{ {n: round(v / 1e6, 2) for n, v in busy.items()} }")
-        print(f"  idle-while-overloaded fraction: "
-              f"{scenario.sampler.violation_fraction:.1%}")
-        print(f"  {scenario.checker.summary()}")
-        print()
+    effect_session = None
+    if args.effect_check:
+        from repro.analysis.effectcheck import EffectCheckSession
+
+        effect_session = EffectCheckSession()
+        effect_session.install()
+    try:
+        for variant in ("buggy", "fixed"):
+            scenario = build_bug_scenario(
+                args.bug, variant, features_transform=transform
+            )
+            scenario.run()
+            system = scenario.system
+            print(f"--- {scenario.bug} [{variant}]")
+            print(f"  {system.scheduler.features.describe()}")
+            busy = node_busy_times(system)
+            print(f"  node busy core-seconds: "
+                  f"{ {n: round(v / 1e6, 2) for n, v in busy.items()} }")
+            print(f"  idle-while-overloaded fraction: "
+                  f"{scenario.sampler.violation_fraction:.1%}")
+            print(f"  {scenario.checker.summary()}")
+            print()
+    finally:
+        if effect_session is not None:
+            effect_session.uninstall()
+    if effect_session is not None:
+        print(effect_session.summary())
+        effect_session.check()  # raises EffectDivergence on any divergence
     return 0
 
 
@@ -271,6 +284,8 @@ def _cmd_lint(args) -> int:
         baseline_path=args.baseline,
         write_baseline=args.write_baseline,
         sarif_path=args.sarif,
+        jobs=args.jobs,
+        effects_report=args.effects_report,
     )
 
 
@@ -597,6 +612,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="record current findings as the new baseline and exit 0",
     )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="shard per-file rules across N worker processes (0 = one "
+        "per core; default REPRO_JOBS or serial); stdout is "
+        "byte-identical to a serial run",
+    )
+    p.add_argument(
+        "--effects-report", default=None, metavar="FILE",
+        help="write the vectorization-safety report (the pure-hot-path "
+        "rule's effect classification of the fast-path closure) to FILE",
+    )
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
@@ -723,6 +749,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="run with the coherence sanitizer on: every fast-path memo "
         "hit is cross-checked against a from-scratch recompute",
+    )
+    p.add_argument(
+        "--effect-check", action="store_true",
+        help="run with the effect sanitizer on: every attribute write to "
+        "scheduler-state objects is cross-checked against the static "
+        "effect summaries; any undeclared write raises",
     )
     p.set_defaults(func=_cmd_demo)
 

@@ -1,0 +1,28 @@
+"""Fixture: a fast-path hot closure whose writes stay self-confined."""
+
+
+class RunQueue:
+    def __init__(self):
+        self._tasks = []
+        self._cached_load = None
+        self.mutations = 0
+
+    def load(self):
+        # OK: the memo write is self-confined (bounded), not escaping.
+        if self._cached_load is None:
+            self._cached_load = _tally(self._tasks)
+        return self._cached_load
+
+    def push(self, task):
+        # Outside the hot closure; the memo invalidation + bump idiom
+        # is the coherence rule's business, not purity's.
+        self._tasks.append(task)
+        self._cached_load = None
+        self.mutations += 1
+
+
+def _tally(tasks):
+    total = 0
+    for task in tasks:
+        total += 1
+    return total

@@ -1,0 +1,41 @@
+"""Fixture: nondeterminism sources flowing into digest/trace sinks."""
+
+import random
+import time
+
+
+class Tracepoint:
+    def __init__(self, name):
+        self.name = name
+
+    def emit(self, **fields):
+        return fields
+
+
+def wall_sample():
+    # A host wall-clock read: a nondeterminism source.
+    return time.time()
+
+
+def emit_wall():
+    # BAD: wall-clock taint reaches a tracepoint emit via a helper's
+    # return value (interprocedural return-taint).
+    trace = Tracepoint("fixture.latency")
+    trace.emit(at=wall_sample())
+
+
+def record_digest(value):
+    return value
+
+
+def publish(value):
+    # ``value`` flows into a digest-named function, so ``value`` is a
+    # sink-reaching parameter of this function.
+    return record_digest(value)
+
+
+def emit_jitter():
+    # BAD: unseeded RNG taint reaches the digest through publish()'s
+    # parameter (interprocedural param-sink flagging at the call site
+    # that introduces the taint).
+    return publish(random.random())

@@ -346,3 +346,54 @@ def test_slo_registry_shipped_specs_clean():
 
     findings = list(SloRegistryRule().finalize())
     assert findings == [], [f.format() for f in findings]
+
+
+# ----------------------------------------------------- nondeterminism taint
+
+
+def test_taint_bad_flows():
+    findings = lint_fixture("taint_bad.py", "repro.obs.taint_bad")
+    taint = [f for f in findings if f.rule_id == "determinism-taint"]
+    assert len(taint) == 2, [f.format() for f in findings]
+    assert all(f.severity == "error" for f in taint)
+    # Direct-return flow: wall-clock sample into a tracepoint emit.
+    assert "wallclock" in taint[0].message
+    assert "tracepoint emit" in taint[0].message
+    # Interprocedural flow: RNG into a digest through publish()'s
+    # sink-reaching parameter, flagged where the taint enters.
+    assert "rng" in taint[1].message
+    assert "sink-reaching parameter 'value'" in taint[1].message
+    # The legacy per-file rule agrees on the RNG source line (satellite:
+    # the taint sanitizer list and the legacy rules share one vocabulary).
+    legacy = [f for f in findings if f.rule_id == "det-unseeded-random"]
+    assert len(legacy) == 1
+    assert legacy[0].line == taint[1].line
+
+
+def test_taint_ok_sanitizers():
+    findings = lint_fixture("taint_ok.py", "repro.obs.taint_ok")
+    assert findings == [], [f.format() for f in findings]
+
+
+# ------------------------------------------------ vectorization safety
+
+
+def test_purity_bad_escaping_helper():
+    findings = lint_fixture("purity_bad.py", "repro.core.purity_bad")
+    assert rule_ids(findings) == ["pure-hot-path"]
+    f = findings[0]
+    assert f.severity == "error"
+    assert "_tally" in f.message
+    assert "runqueue-load" in f.message  # names the poisoned hot loop
+    assert "_SAMPLES" in f.message or "module global" in f.message
+
+
+def test_purity_ok_bounded_memo():
+    findings = lint_fixture("purity_ok.py", "repro.core.purity_ok")
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_purity_out_of_scope():
+    # The same file analyzed outside sched/sim/core is not certified.
+    findings = lint_fixture("purity_bad.py", "repro.viz.purity_bad")
+    assert rule_ids(findings) == []

@@ -118,3 +118,81 @@ def test_repository_tree_is_lint_clean():
     code = run_lint(paths=[str(SRC / "repro")], out=out)
     assert code == 0, "\n".join(lines)
     assert lines[-1].startswith("0 findings")
+
+
+def test_parallel_lint_byte_identical(tmp_path, capsys):
+    """-j2 output (stdout and exit code) matches the serial run exactly.
+
+    Lint over the analysis subpackage (cross-file rules included) with a
+    bad file mixed in, so both per-file shards and the parent's
+    cross-file pass contribute findings to the merge.
+    """
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    targets = [str(SRC / "repro" / "analysis"), str(bad)]
+
+    serial_lines, serial_out = _capture()
+    serial_code = run_lint(paths=targets, fmt="json", out=serial_out)
+    parallel_lines, parallel_out = _capture()
+    parallel_code = run_lint(
+        paths=targets, fmt="json", jobs=2, out=parallel_out
+    )
+    assert parallel_code == serial_code
+    assert parallel_lines == serial_lines
+    # Progress and timing go to stderr, never stdout.
+    err = capsys.readouterr().err
+    assert "shard" in err and "workers" in err
+
+
+def test_parallel_lint_reports_parse_errors_once(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    serial_lines, serial_out = _capture()
+    run_lint(paths=[str(broken)], fmt="json", out=serial_out)
+    parallel_lines, parallel_out = _capture()
+    run_lint(paths=[str(broken)], fmt="json", jobs=2, out=parallel_out)
+    assert parallel_lines == serial_lines
+    report = json.loads("\n".join(parallel_lines))
+    parse_errors = [
+        f for f in report["findings"] if f["rule"] == "parse-error"
+    ]
+    assert len(parse_errors) == 1  # the shard's copy, not the parent's too
+
+
+def test_negative_jobs_rejected(tmp_path):
+    target = tmp_path / "ok.py"
+    target.write_text(CLEAN_SOURCE)
+    lines, out = _capture()
+    assert run_lint(paths=[str(target)], jobs=-1, out=out) == 2
+    assert any("jobs" in line for line in lines)
+
+
+def test_effects_report_written():
+    report_path = REPO / "vectorization-safety.test.json"
+    try:
+        lines, out = _capture()
+        code = run_lint(
+            paths=[str(SRC / "repro")],
+            effects_report=str(report_path),
+            out=out,
+        )
+        assert code == 0, "\n".join(lines)
+        report = json.loads(report_path.read_text())
+        assert report["summary"]["escaping"] == 0
+        assert report["unsafe"] == []
+    finally:
+        if report_path.exists():
+            report_path.unlink()
+
+
+def test_effects_report_requires_certifiable_files(tmp_path):
+    target = tmp_path / "ok.py"
+    target.write_text(CLEAN_SOURCE)
+    lines, out = _capture()
+    code = run_lint(
+        paths=[str(target)],
+        effects_report=str(tmp_path / "report.json"),
+        out=out,
+    )
+    assert code == 2
+    assert any("no vectorization-safety report" in line for line in lines)
