@@ -624,6 +624,18 @@ HOT_ROOTS: Dict[str, Tuple[Optional[str], str]] = {
     "group-stats-fold": (None, "_fold_group_stats"),
     "designated-election": (None, "_elect_designated"),
     "event-pending": ("EventLoop", "pending"),
+    # The vectorized core's kernels (repro.sched.vecstate / vec): the
+    # mirror sync sweep, the group folds, the bulk busiest-group
+    # selection, the election memo, and both array backends' wide-fold
+    # kernel.  Everything they reach must stay effect-bounded or the
+    # batched rewrite's certificate is void (the rule fails the lint).
+    "vec-sync": ("VecState", "_sync"),
+    "vec-group-stats": ("VecState", "group_stats"),
+    "vec-fold": ("VecState", "_fold_entry"),
+    "vec-find-busiest": ("VecState", "find_busiest"),
+    "vec-designated": ("VecState", "designated_for"),
+    "vec-kernel-numpy": ("_NumpyOps", "fold_group"),
+    "vec-kernel-python": ("_PythonOps", "fold_group"),
 }
 
 #: Classification lattice, weakest to strongest claim.

@@ -20,7 +20,9 @@
     python -m repro lint [paths ...] [--format json|text|sarif]
                          [--sarif FILE] [--baseline FILE]
     python -m repro bench [--quick] [--compare] [--only NAME] [-j N]
-                          [--out BENCH_sim.json] [--check-digests FILE]
+                          [--variant baseline|fast|vec|vec-fallback]
+                          [--out BENCH_sim.json] [--check-digests [FILE]]
+                          [--profile]
     python -m repro slo run [--registry PATH] [--scenario NAME] [--scale F]
                             [-j N] [--json FILE]
     python -m repro slo check [--baseline SLO_baseline.json]
@@ -305,6 +307,7 @@ def _cmd_bench(args) -> int:
         print(f"unknown benchmark(s): {', '.join(unknown)} "
               f"(known: {', '.join(benchmark_names())})", file=sys.stderr)
         return 2
+    cross_check = args.check_digests is not None
     results = []
     for name in names:
         print(f"running {name}{' (quick)' if args.quick else ''} ...",
@@ -312,7 +315,8 @@ def _cmd_bench(args) -> int:
         results.append(
             run_benchmark(
                 name, quick=args.quick, compare=args.compare,
-                jobs=args.jobs,
+                jobs=args.jobs, variant=args.variant,
+                check_digests=cross_check,
             )
         )
     print(format_results(results))
@@ -320,7 +324,13 @@ def _cmd_bench(args) -> int:
     status = 0
     if any(r.digest_match is False for r in results):
         status = 1
-    if args.check_digests:
+    if cross_check:
+        bad = [r.name for r in results if r.digest_match is False]
+        if bad:
+            print(f"digest cross-check FAILED: {', '.join(bad)}")
+        else:
+            print("digest cross-check passed: all variants identical")
+    if isinstance(args.check_digests, str) and args.check_digests:
         mismatches = check_digests(args.check_digests, results)
         for name, stored, fresh in mismatches:
             print(
@@ -331,6 +341,21 @@ def _cmd_bench(args) -> int:
             status = 1
         if not mismatches:
             print(f"digests match {args.check_digests}")
+    if args.profile:
+        from pathlib import Path
+
+        from repro.perf import profile_benchmark
+
+        base = Path(args.out) if args.out else Path("bench")
+        for name in names:
+            print(f"profiling {name} ...", file=sys.stderr)
+            text = profile_benchmark(
+                name, quick=args.quick, jobs=args.jobs,
+                variant=args.variant,
+            )
+            target = base.with_name(f"{base.stem}.profile.{name}.txt")
+            target.write_text(text)
+            print(f"wrote profile to {target}")
     if args.out:
         append_run(args.out, results, label=args.label, jobs=args.jobs)
         print(f"appended run to {args.out}")
@@ -647,9 +672,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="append results to this BENCH_*.json trajectory file",
     )
     p.add_argument(
-        "--check-digests", default=None, metavar="FILE",
-        help="compare fresh schedule digests against the most recent run "
-        "stored in FILE; exit 1 on drift",
+        "--check-digests", nargs="?", const=True, default=None,
+        metavar="FILE",
+        help="recompute every benchmark's schedule digest in all four "
+        "variants (baseline, fast, vec, vec-fallback) and require them "
+        "identical; with FILE, additionally compare against the most "
+        "recent run stored there; exit 1 on any mismatch",
+    )
+    p.add_argument(
+        "--variant", default="vec",
+        choices=("baseline", "fast", "vec", "vec-fallback"),
+        help="the variant the primary wall-clock measurement runs "
+        "(default: vec, the array-backed vectorized core)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="rerun each benchmark under cProfile and write the top-20 "
+        "cumulative report next to --out "
+        "(<out-stem>.profile.<bench>.txt)",
     )
     p.add_argument(
         "--label", default="",

@@ -3,10 +3,13 @@
 The fast paths this package measures (``repro bench``) are the incremental
 load tracking, single-pass balance statistics, and event-loop compaction
 behind :meth:`repro.sched.features.SchedFeatures.with_fastpath`.  Each
-benchmark runs the same seeded scenario in *fast* (all fast paths on,
-the default feature set) and optionally *baseline* (all fast paths off,
-reproducing the historical implementations) mode, and a short traced run
-digests the schedule so the two modes can be proven byte-identical.
+benchmark runs the same seeded scenario in one of four variants --
+*baseline* (all fast paths off, reproducing the historical
+implementations), *fast* (the per-pass fast paths), *vec* (the
+array-backed vectorized core, numpy backend when importable), and
+*vec-fallback* (the vectorized core on the pure-Python backend) -- and a
+short traced run digests the schedule so every variant can be proven
+byte-identical (``repro bench --check-digests``).
 
 Results append to a ``BENCH_*.json`` trajectory file, so the measured
 speedups (and the determinism digests) are tracked over the repository's
@@ -16,9 +19,11 @@ simulation hot scope the ``det-wallclock`` lint rule protects.
 
 from repro.perf.bench import (
     BENCHMARKS,
+    VARIANTS,
     BenchResult,
     ModeMetrics,
     benchmark_names,
+    profile_benchmark,
     run_benchmark,
 )
 from repro.perf.orchestrator import (
@@ -41,9 +46,11 @@ from repro.perf.store import (
 
 __all__ = [
     "BENCHMARKS",
+    "VARIANTS",
     "BenchResult",
     "ModeMetrics",
     "benchmark_names",
+    "profile_benchmark",
     "run_benchmark",
     "OrchestratorRun",
     "PoolStats",

@@ -10,12 +10,16 @@ Three workloads cover the simulator's hot paths from different angles:
 * ``soak64`` -- a 64-core machine with a mixed hog/sleeper population.
   Dominated by the NOHZ sweep and event-loop churn (sleep/wake timers).
 
-Every benchmark is seeded and runs a fixed simulated horizon, so the two
-measurement modes execute the *same schedule*; only wall-clock differs.
-A short traced companion run produces a SHA-256 digest of the schedule
-(integer/string event fields only, so the digest is stable across float
-formatting differences) which must be identical with the fast paths on
-and off.
+Every benchmark is seeded and runs a fixed simulated horizon, so all
+measurement variants execute the *same schedule*; only wall-clock
+differs.  Four variants are registered (:data:`VARIANTS`): the
+historical ``baseline``, the PR 3 per-pass ``fast`` layer, and the
+array-backed vectorized core in its ``vec`` (numpy when importable) and
+``vec-fallback`` (pure-Python backend, forced) forms.  A short traced
+companion run produces a SHA-256 digest of the schedule (integer/string
+event fields only, so the digest is stable across float formatting
+differences) which must be identical across every variant
+(``repro bench --check-digests``).
 
 A second, instrumented companion run folds each benchmark's
 representative scenario into SLO fields (wakeup-latency p50/p95/p99 and
@@ -92,6 +96,10 @@ class BenchResult:
     #: Wakeup-latency percentiles + jitter from the instrumented
     #: companion run (None for benchmarks without one).
     slo: Optional[Dict[str, object]] = None
+    #: The variant the primary (``fast`` attribute) mode measured.
+    variant: str = "fast"
+    #: Per-variant schedule digests when the cross-variant check ran.
+    digests: Optional[Dict[str, str]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -103,12 +111,14 @@ class BenchResult:
         obj: Dict[str, object] = {
             "name": self.name,
             "quick": self.quick,
+            "variant": self.variant,
             "fast": self.fast.to_json(),
             "baseline": (
                 self.baseline.to_json() if self.baseline is not None else None
             ),
             "digest": self.digest,
             "digest_match": self.digest_match,
+            "digests": self.digests,
         }
         speedup = self.speedup
         obj["speedup"] = round(speedup, 2) if speedup is not None else None
@@ -116,8 +126,26 @@ class BenchResult:
         return obj
 
 
-def _fastpath_transform(enabled: bool) -> Callable[[SchedFeatures], SchedFeatures]:
-    return lambda features: features.with_fastpath(enabled)
+#: Feature transforms of the measured variants, in trajectory order.
+#: ``vec`` resolves its backend at import time (numpy when importable
+#: and not disabled via ``REPRO_NO_NUMPY``); ``vec-fallback`` forces the
+#: pure-Python backend so both kernels are digest-checked in one
+#: process.
+VARIANTS: Dict[str, Callable[[SchedFeatures], SchedFeatures]] = {
+    "baseline": lambda f: f.with_fastpath(False),
+    "fast": lambda f: f.with_fastpath(True),
+    "vec": lambda f: f.with_vectorized(True),
+    "vec-fallback": lambda f: f.with_vectorized(True, backend="python"),
+}
+
+
+def _variant_transform(variant: str) -> Callable[[SchedFeatures], SchedFeatures]:
+    try:
+        return VARIANTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench variant {variant!r} (known: {', '.join(VARIANTS)})"
+        ) from None
 
 
 def _hog(name: str) -> TaskSpec:
@@ -160,16 +188,16 @@ class _Totals:
         self.heap_compactions += system.loop.compactions
 
 
-def _run_table4(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
+def _run_table4(variant: str, quick: bool, jobs: int = 1) -> _Totals:
     duration = 250 * MS if quick else 1 * SEC
     totals = _Totals()
     start = time.perf_counter()
     for bug in BUG_NAMES:
-        for variant in ("buggy", "fixed"):
+        for bug_mode in ("buggy", "fixed"):
             scenario = build_bug_scenario(
                 bug,
-                variant,
-                features_transform=_fastpath_transform(fastpath),
+                bug_mode,
+                features_transform=_variant_transform(variant),
             )
             scenario.run(duration)
             totals.fold(scenario.system)
@@ -177,14 +205,14 @@ def _run_table4(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     return totals
 
 
-def _run_figure2(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
+def _run_figure2(variant: str, quick: bool, jobs: int = 1) -> _Totals:
     duration = 400 * MS if quick else 2 * SEC
     totals = _Totals()
     start = time.perf_counter()
     scenario = build_bug_scenario(
         "group-imbalance",
         "buggy",
-        features_transform=_fastpath_transform(fastpath),
+        features_transform=_variant_transform(variant),
     )
     scenario.run(duration)
     totals.fold(scenario.system)
@@ -192,8 +220,8 @@ def _run_figure2(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     return totals
 
 
-def _build_soak64(fastpath: bool) -> System:
-    features = SchedFeatures().with_fastpath(fastpath)
+def _build_soak64(variant: str) -> System:
+    features = _variant_transform(variant)(SchedFeatures())
     system = System(amd_bulldozer_64(), features, seed=7)
     # 48 pinned-nowhere hogs forked from scattered parents plus 32
     # sleepers: sustained balancing with constant timer churn (sleepers
@@ -205,11 +233,11 @@ def _build_soak64(fastpath: bool) -> System:
     return system
 
 
-def _run_soak64(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
+def _run_soak64(variant: str, quick: bool, jobs: int = 1) -> _Totals:
     duration = 1 * SEC if quick else 10 * SEC
     totals = _Totals()
     start = time.perf_counter()
-    system = _build_soak64(fastpath)
+    system = _build_soak64(variant)
     system.run_for(duration)
     totals.fold(system)
     totals.wall_seconds = time.perf_counter() - start
@@ -237,7 +265,7 @@ def _digest_records(buffer: TraceBuffer) -> str:
     return hasher.hexdigest()
 
 
-def _digest_table4(fastpath: bool, jobs: int = 1) -> str:
+def _digest_table4(variant: str, jobs: int = 1) -> str:
     parts: List[str] = []
     for bug in BUG_NAMES:
         buffer = TraceBuffer()
@@ -247,14 +275,14 @@ def _digest_table4(fastpath: bool, jobs: int = 1) -> str:
             "buggy",
             seed=1234,
             instrument=lambda s: s.attach_probe(probe),
-            features_transform=_fastpath_transform(fastpath),
+            features_transform=_variant_transform(variant),
         )
         scenario.run(50 * MS)
         parts.append(_digest_records(buffer))
     return hashlib.sha256("".join(parts).encode()).hexdigest()
 
 
-def _digest_figure2(fastpath: bool, jobs: int = 1) -> str:
+def _digest_figure2(variant: str, jobs: int = 1) -> str:
     buffer = TraceBuffer()
     probe = TraceProbe(buffer=buffer, record_load=False)
     scenario = build_bug_scenario(
@@ -262,16 +290,16 @@ def _digest_figure2(fastpath: bool, jobs: int = 1) -> str:
         "fixed",
         seed=99,
         instrument=lambda s: s.attach_probe(probe),
-        features_transform=_fastpath_transform(fastpath),
+        features_transform=_variant_transform(variant),
     )
     scenario.run(100 * MS)
     return _digest_records(buffer)
 
 
-def _digest_soak64(fastpath: bool, jobs: int = 1) -> str:
+def _digest_soak64(variant: str, jobs: int = 1) -> str:
     buffer = TraceBuffer()
     probe = TraceProbe(buffer=buffer, record_load=False)
-    system = _build_soak64(fastpath)
+    system = _build_soak64(variant)
     system.attach_probe(probe)
     system.run_for(50 * MS)
     return _digest_records(buffer)
@@ -313,7 +341,7 @@ def _slo_bug(bug: str, duration_us: int) -> Dict[str, object]:
 
 
 def _slo_soak64() -> Dict[str, object]:
-    system = _build_soak64(True)
+    system = _build_soak64("vec")
     obs = ObsSession.attach_to(
         system, trace=False, registry=TracepointRegistry()
     )
@@ -322,28 +350,28 @@ def _slo_soak64() -> Dict[str, object]:
     return _slo_fields(obs.recorder)
 
 
-def _report_jobs(fastpath: bool, jobs: int) -> int:
+def _report_jobs(parallel: bool, jobs: int) -> int:
     """The worker count for one ``report_wall`` mode.
 
-    The "fast" mode is the sharded orchestrator run (``jobs``, or one
-    worker per core when unspecified); the "baseline" mode is the
+    Every non-baseline variant is the sharded orchestrator run (``jobs``,
+    or one worker per core when unspecified); the "baseline" mode is the
     historical serial evaluation.  The speedup column therefore reads as
     the orchestrator's parallel efficiency, and ``digest_match`` proves
     the parallel run scheduled byte-for-byte what the serial run did.
     """
     from repro.perf.orchestrator import resolve_jobs
 
-    return resolve_jobs(jobs if jobs > 1 else 0) if fastpath else 1
+    return resolve_jobs(jobs if jobs > 1 else 0) if parallel else 1
 
 
-def _run_report(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
+def _run_report(variant: str, quick: bool, jobs: int = 1) -> _Totals:
     from repro.experiments.reportgen import QUICK_SCALE, generate_report
 
     scale = QUICK_SCALE if quick else 0.1
     totals = _Totals()
     start = time.perf_counter()
     result = generate_report(
-        scale=scale, jobs=_report_jobs(fastpath, jobs), cache=None
+        scale=scale, jobs=_report_jobs(variant != "baseline", jobs), cache=None
     )
     totals.wall_seconds = time.perf_counter() - start
     totals.sim_us = result.counters.get("sim_us", 0)
@@ -353,11 +381,11 @@ def _run_report(fastpath: bool, quick: bool, jobs: int = 1) -> _Totals:
     return totals
 
 
-def _digest_report(fastpath: bool, jobs: int = 1) -> str:
+def _digest_report(variant: str, jobs: int = 1) -> str:
     from repro.experiments.reportgen import QUICK_SCALE, generate_report
 
     result = generate_report(
-        scale=QUICK_SCALE, jobs=_report_jobs(fastpath, jobs), cache=None
+        scale=QUICK_SCALE, jobs=_report_jobs(variant != "baseline", jobs), cache=None
     )
     return hashlib.sha256("".join(result.digests).encode()).hexdigest()
 
@@ -366,15 +394,16 @@ def _digest_report(fastpath: bool, jobs: int = 1) -> str:
 class BenchSpec:
     """One registered macro-benchmark.
 
-    ``run`` and ``digest`` take (fastpath, quick[, jobs]) -- the ``jobs``
-    knob only matters to ``report_wall``, where "fastpath" selects the
-    sharded orchestrator run and "baseline" the serial one.
+    ``run`` and ``digest`` take (variant, quick[, jobs]) -- the ``jobs``
+    knob only matters to ``report_wall``, where every non-baseline
+    variant selects the sharded orchestrator run and "baseline" the
+    serial one.
     """
 
     name: str
     description: str
-    run: Callable[[bool, bool, int], _Totals] = field(repr=False)
-    digest: Callable[[bool, int], str] = field(repr=False)
+    run: Callable[[str, bool, int], _Totals] = field(repr=False)
+    digest: Callable[[str, int], str] = field(repr=False)
     #: Optional instrumented companion producing wakeup-latency
     #: percentiles and jitter for the trajectory's SLO columns.
     slo: Optional[Callable[[], Dict[str, object]]] = field(
@@ -428,43 +457,52 @@ def benchmark_names() -> List[str]:
     return list(BENCHMARKS)
 
 
+def _metrics_of(totals: _Totals) -> ModeMetrics:
+    return ModeMetrics(
+        wall_seconds=totals.wall_seconds,
+        sim_us=totals.sim_us,
+        events_fired=totals.events_fired,
+        balance_calls=totals.balance_calls,
+        migrations=totals.migrations,
+        heap_compactions=totals.heap_compactions,
+    )
+
+
 def run_benchmark(
     name: str,
     quick: bool = False,
     compare: bool = False,
     jobs: int = 1,
+    variant: str = "vec",
+    check_digests: bool = False,
 ) -> BenchResult:
-    """Run one benchmark; with ``compare`` also measure the baseline mode.
+    """Run one benchmark in ``variant`` mode (the ``fast`` metrics slot).
 
-    The digest is always computed for the fast mode; with ``compare`` it
-    is recomputed in baseline mode (fast paths off -- or, for
-    ``report_wall``, serial execution) and the two are checked for
-    equality (the determinism contract of the optimization layer).
+    With ``compare`` the baseline mode is also measured and its digest
+    checked against the primary variant's.  With ``check_digests`` the
+    digest is recomputed for *every* registered variant (baseline, fast,
+    vec, vec-fallback) and ``digest_match`` asserts they are all equal
+    -- the determinism contract of the optimization layers.
     """
     spec = BENCHMARKS[name]
-    fast_totals = spec.run(True, quick, jobs)
-    fast = ModeMetrics(
-        wall_seconds=fast_totals.wall_seconds,
-        sim_us=fast_totals.sim_us,
-        events_fired=fast_totals.events_fired,
-        balance_calls=fast_totals.balance_calls,
-        migrations=fast_totals.migrations,
-        heap_compactions=fast_totals.heap_compactions,
-    )
-    digest = spec.digest(True, jobs)
+    _variant_transform(variant)  # reject unknown variants before running
+    fast = _metrics_of(spec.run(variant, quick, jobs))
+    digest = spec.digest(variant, jobs)
     baseline: Optional[ModeMetrics] = None
     digest_match: Optional[bool] = None
+    digests: Optional[Dict[str, str]] = None
     if compare:
-        base_totals = spec.run(False, quick, jobs)
-        baseline = ModeMetrics(
-            wall_seconds=base_totals.wall_seconds,
-            sim_us=base_totals.sim_us,
-            events_fired=base_totals.events_fired,
-            balance_calls=base_totals.balance_calls,
-            migrations=base_totals.migrations,
-            heap_compactions=base_totals.heap_compactions,
+        baseline = _metrics_of(spec.run("baseline", quick, jobs))
+        digest_match = spec.digest("baseline", jobs) == digest
+    if check_digests:
+        digests = {
+            v: (digest if v == variant else spec.digest(v, jobs))
+            for v in VARIANTS
+        }
+        all_match = len(set(digests.values())) == 1
+        digest_match = (
+            all_match if digest_match is None else digest_match and all_match
         )
-        digest_match = spec.digest(False, jobs) == digest
     slo = spec.slo() if spec.slo is not None else None
     return BenchResult(
         name=name,
@@ -474,4 +512,37 @@ def run_benchmark(
         digest=digest,
         digest_match=digest_match,
         slo=slo,
+        variant=variant,
+        digests=digests,
     )
+
+
+def profile_benchmark(
+    name: str,
+    quick: bool = False,
+    jobs: int = 1,
+    variant: str = "vec",
+    top: int = 20,
+) -> str:
+    """One benchmark run under cProfile; top-``top`` cumulative report.
+
+    Returns the pstats text (sorted by cumulative time) that ``repro
+    bench --profile`` writes next to ``--out``, so hot-spot hunts need
+    no ad-hoc harness scripts.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    spec = BENCHMARKS[name]
+    _variant_transform(variant)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        spec.run(variant, quick, jobs)
+    finally:
+        profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(top)
+    return out.getvalue()

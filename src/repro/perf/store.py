@@ -130,21 +130,22 @@ def format_results(results: Sequence[BenchResult]) -> str:
     )
     rows: List[Tuple[str, ...]] = [header]
     for result in results:
-        modes: List[Tuple[str, ModeMetrics]] = [("fast", result.fast)]
+        primary = result.variant
+        modes: List[Tuple[str, ModeMetrics]] = [(primary, result.fast)]
         if result.baseline is not None:
             modes.append(("baseline", result.baseline))
         for mode_name, metrics in modes:
             speedup = result.speedup
             rows.append(
                 (
-                    result.name if mode_name == "fast" else "",
+                    result.name if mode_name == primary else "",
                     mode_name,
                     f"{metrics.wall_seconds:.3f}",
                     f"{metrics.events_per_sec:,.0f}",
                     f"{metrics.balance_calls_per_sec:,.0f}",
                     (
                         f"{speedup:.2f}x"
-                        if mode_name == "fast" and speedup is not None
+                        if mode_name == primary and speedup is not None
                         else ""
                     ),
                 )
@@ -164,9 +165,14 @@ def format_results(results: Sequence[BenchResult]) -> str:
                 f"{slo.get('jitter_us')}us (n={slo.get('samples')})"
             )
     for result in results:
+        if result.digests:
+            short = ", ".join(
+                f"{v}={d[:12]}" for v, d in result.digests.items()
+            )
+            lines.append(f"digests {result.name}: {short}")
         if result.digest_match is False:
             lines.append(
                 f"DIGEST MISMATCH: {result.name} schedules differ between "
-                "fast and baseline modes"
+                "variants"
             )
     return "\n".join(lines)

@@ -43,6 +43,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
     cast,
 )
 
@@ -52,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.domains import SchedDomain, SchedGroup
     from repro.sched.scheduler import Scheduler
     from repro.sched.task import Task
+    from repro.sched.vecstate import VecState
 
 
 @dataclass
@@ -95,6 +97,11 @@ def group_metric(sched: "Scheduler", stats: GroupStats) -> float:
 class BalancePass:
     """Per-CPU (load, nr_running) samples shared across one rebalance pass.
 
+    The scheduler-lifetime :class:`~repro.sched.vecstate.VecState` is a
+    drop-in alternative implementing the same sampling interface
+    (``group_stats``/``designated_for``) plus a bulk busiest-group
+    selection; every ``bpass`` parameter below accepts either.
+
     Samples fill flat arrays indexed by cpu id, lazily; each slot carries
     the runqueue mutation count it was sampled at, so a migration this
     very pass triggers re-samples only the two queues it touched.  Group
@@ -105,6 +112,9 @@ class BalancePass:
     idle CPUs reuse the same samples, since they all observe the same
     timestamp.
     """
+
+    #: find_busiest_group routes to the bulk selection path when True.
+    vectorized = False
 
     __slots__ = (
         "sched", "now", "_idle_epoch", "_div_epoch", "_loads", "_nrs",
@@ -234,6 +244,12 @@ class BalancePass:
         return winner
 
 
+#: Either sampling layer: the per-pass scalar ``BalancePass`` or the
+#: persistent array-backed ``VecState`` -- same interface, and (by the
+#: digest gate) byte-identical decisions.
+SamplingPass = Union[BalancePass, "VecState"]
+
+
 def _fold_group_stats(
     sched: "Scheduler",
     group: "SchedGroup",
@@ -275,7 +291,7 @@ def compute_group_stats(
     sched: "Scheduler",
     group: "SchedGroup",
     now: int,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> Optional[GroupStats]:
     """Per-CPU loads folded into group statistics; None if no CPU is online."""
     if bpass is not None:
@@ -288,7 +304,7 @@ def find_busiest_group(
     domain: "SchedDomain",
     dst_cpu: int,
     now: int,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> Tuple[Optional[GroupStats], Optional[GroupStats]]:
     """(busiest, local) group stats for a balancing attempt.
 
@@ -297,7 +313,20 @@ def find_busiest_group(
     highest metric -- the paper's Line 13.  Returns ``(None, local)`` when
     the domain is already balanced from ``dst_cpu``'s point of view.
     """
-    local_stats: Optional[GroupStats] = None
+    if bpass is not None and bpass.vectorized:
+        # Bulk path: folds and the three-tier selection run over the
+        # persistent array mirror; decision-identical to the loop below
+        # (the digest gate holds it to that).  The probe sees the same
+        # examined set, in the same group order.
+        probe = sched.probe
+        active = probe.active
+        busiest, local_stats, examined_t = cast(
+            "VecState", bpass
+        ).find_busiest(domain, dst_cpu, active)
+        if active:
+            probe.on_considered(now, dst_cpu, "load_balance", examined_t)
+        return busiest, local_stats
+    local_stats = None
     others: List[GroupStats] = []
     examined: List[int] = []
     for group in domain.groups:
@@ -309,7 +338,8 @@ def find_busiest_group(
             local_stats = stats
         else:
             others.append(stats)
-    sched.probe.on_considered(now, dst_cpu, "load_balance", examined)
+    if sched.probe.active:
+        sched.probe.on_considered(now, dst_cpu, "load_balance", examined)
     if local_stats is None or not others:
         return None, local_stats
 
@@ -435,35 +465,45 @@ def balance_domain(
     domain: "SchedDomain",
     dst_cpu: int,
     now: int,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> int:
     """One balancing attempt at one domain level (Lines 10-23)."""
     busiest, local = find_busiest_group(sched, domain, dst_cpu, now, bpass)
-    local_metric = group_metric(sched, local) if local is not None else 0.0
+    probe = sched.probe
+    active = probe.active
     if busiest is None:
-        sched.probe.on_balance(
-            now, dst_cpu, domain.name, local_metric, None, "balanced"
-        )
+        # The metric values feed only the probe record; an inert probe
+        # (no consumer attached) skips computing them entirely.
+        if active:
+            probe.on_balance(
+                now, dst_cpu, domain.name,
+                group_metric(sched, local) if local is not None else 0.0,
+                None, "balanced",
+            )
         return 0
-    busiest_metric = group_metric(sched, busiest)
+    # busiest is never returned without a local group.
+    local_metric = group_metric(sched, local) if active else 0.0
+    busiest_metric = group_metric(sched, busiest) if active else 0.0
     budget = compute_imbalance(sched, busiest, local)
     excluded: Set[int] = set()
     while True:
         src_cpu = pick_busiest_cpu(sched, busiest, frozenset(excluded), now)
         if src_cpu is None or src_cpu == dst_cpu:
-            sched.probe.on_balance(
-                now, dst_cpu, domain.name, local_metric, busiest_metric,
-                "blocked",
-            )
+            if active:
+                probe.on_balance(
+                    now, dst_cpu, domain.name, local_metric,
+                    busiest_metric, "blocked",
+                )
             return 0
         moved = move_tasks(
             sched, src_cpu, dst_cpu, now, f"balance:{domain.name}", budget
         )
         if moved:
-            sched.probe.on_balance(
-                now, dst_cpu, domain.name, local_metric, busiest_metric,
-                f"moved:{moved}",
-            )
+            if active:
+                probe.on_balance(
+                    now, dst_cpu, domain.name, local_metric,
+                    busiest_metric, f"moved:{moved}",
+                )
             return moved
         # Lines 20-22: every candidate was pinned away from us; try the
         # next busiest CPU of the group.
@@ -504,7 +544,7 @@ def designated_cpu(
     sched: "Scheduler",
     domain: "SchedDomain",
     cpu_id: int,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> int:
     """The core responsible for balancing this domain (Lines 2-6).
 
@@ -529,7 +569,7 @@ def periodic_balance(
     cpu_id: int,
     now: int,
     force: bool = False,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> int:
     """Run Algorithm 1 for one CPU across all its domains, bottom-up.
 
@@ -537,7 +577,53 @@ def periodic_balance(
     unless ``force`` is set (used by tests and the NOHZ path's first kick).
     """
     moved = 0
-    cpu = sched.cpu(cpu_id)
+    cpu = sched.cpus[cpu_id]
+    if bpass is not None and bpass.vectorized:
+        # Vectorized path: the per-level (domain, local group, solo
+        # winner) triple never changes between topology rebuilds, so it
+        # is planned once per domain generation and cached on the Cpu.
+        # Single-CPU balance masks (every bottom-level group) elect
+        # themselves without even a memo probe; wider masks go through
+        # VecState's election memo, which is invalidated per CPU on
+        # real idle<->busy transitions and therefore outlives the
+        # global idle epoch (which sleeper churn bumps thousands of
+        # times a second).
+        builder = sched.domain_builder
+        plan = cpu.balance_plan
+        if plan is None or cpu.balance_plan_gen != builder.generation:
+            domains = builder.domains_of(cpu_id)
+            while len(cpu.next_balance_us) < len(domains):
+                cpu.next_balance_us.append(-1)
+            plan = []
+            for domain in domains:
+                try:
+                    local = domain.local_group(cpu_id)
+                except ValueError:
+                    plan.append((domain, None, -1))
+                    continue
+                mask = local.sorted_balance_mask()
+                solo = mask[0] if len(mask) == 1 else -1
+                plan.append((domain, local, solo))
+            cpu.balance_plan = plan
+            cpu.balance_plan_gen = builder.generation
+        cpus = sched.cpus
+        next_balance = cpu.next_balance_us
+        for domain, local, solo in plan:
+            # Interval gate first, exactly like the scalar loop below.
+            stamp = next_balance[domain.level]
+            if not force and 0 <= stamp and now < stamp:
+                continue
+            if local is None:
+                continue  # no local group here: never the winner
+            if solo >= 0:
+                winner = solo if cpus[solo].online else -1
+            else:
+                winner = bpass.designated_for(local)
+            if cpu_id != winner:
+                continue
+            next_balance[domain.level] = now + domain.balance_interval_us
+            moved += balance_domain(sched, domain, cpu_id, now, bpass)
+        return moved
     domains = sched.domain_builder.domains_of(cpu_id)
     while len(cpu.next_balance_us) < len(domains):
         cpu.next_balance_us.append(-1)
@@ -590,10 +676,7 @@ def newidle_balance(sched: "Scheduler", cpu_id: int, now: int) -> int:
     work.  Uses the same ``find_busiest_group`` logic -- and therefore
     inherits the same bugs.
     """
-    bpass = (
-        BalancePass(sched, now)
-        if sched.features.perf_balance_stats else None
-    )
+    bpass = sched.vec_pass(now)
     moved = 0
     for domain in sched.domain_builder.domains_of(cpu_id):
         moved += balance_domain(sched, domain, cpu_id, now, bpass)
@@ -614,7 +697,7 @@ def nohz_idle_balance(
     sched: "Scheduler",
     balancer_cpu: int,
     now: int,
-    bpass: Optional[BalancePass] = None,
+    bpass: Optional[SamplingPass] = None,
 ) -> int:
     """Periodic balancing run by the NOHZ balancer for all tickless cores.
 

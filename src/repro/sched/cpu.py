@@ -60,6 +60,11 @@ class Cpu:
         #: Per-domain-level [idle_epoch, winner] designated-CPU memo used
         #: by the fast balancing path; valid while the idle epoch matches.
         self.designated_memo: list = []
+        #: Vectorized-path balance plan: (domain, local group, solo
+        #: winner) per level, cached until the domain generation moves
+        #: (see ``periodic_balance``).
+        self.balance_plan: Optional[list] = None
+        self.balance_plan_gen = -1
 
     @property
     def is_idle(self) -> bool:

@@ -154,6 +154,15 @@ class DomainBuilder:
         self._group_pool: Dict[
             Tuple[FrozenSet[int], Optional[FrozenSet[int]]], SchedGroup
         ] = {}
+        #: Rebuild-scoped intern pool of domains: every CPU of a node sees
+        #: identical (name, level, span, groups) at the shared levels, so
+        #: one SchedDomain object serves them all and id-keyed caches (the
+        #: vectorized mirror's per-domain gather plans) are shared across
+        #: perspectives instead of built per CPU.
+        self._domain_pool: Dict[object, SchedDomain] = {}
+        #: Bumped by every rebuild; consumers caching per-CPU domain
+        #: plans (``Cpu.balance_plan``) key their validity off it.
+        self.generation = 0
         self.rebuild()
 
     # -- hotplug -----------------------------------------------------------
@@ -190,6 +199,7 @@ class DomainBuilder:
         paper describes.
         """
         self._domains = {}
+        self.generation += 1
         # Equal groups are interned to one shared object per rebuild:
         # every CPU of a node sees the *same* group instances, so
         # per-object caches (sorted tuples, balance-pass memos) are shared
@@ -197,6 +207,7 @@ class DomainBuilder:
         # starts from an empty pool, which is exactly the hotplug
         # invalidation the cached tuples rely on.
         self._group_pool = {}
+        self._domain_pool = {}
         drop_numa_levels = (
             self.hotplug_happened and not self.features.fix_missing_domains
         )
@@ -206,6 +217,7 @@ class DomainBuilder:
                 domains.extend(self._build_cross_node(cpu_id, len(domains)))
             self._domains[cpu_id] = domains
         self._group_pool = {}
+        self._domain_pool = {}
 
     def _make_group(
         self,
@@ -219,6 +231,33 @@ class DomainBuilder:
             group = SchedGroup(cpus, balance_cpus)
             self._group_pool[key] = group
         return group
+
+    def _make_domain(
+        self,
+        name: str,
+        level: int,
+        span: FrozenSet[int],
+        groups: Tuple[SchedGroup, ...],
+        interval: int,
+        numa: bool = False,
+        imbalance_ratio: float = 1.17,
+    ) -> SchedDomain:
+        """Create-or-reuse a domain with these exact parameters.
+
+        Groups are already interned within the rebuild, so the tuple
+        compares by the shared objects; like the group pool, the domain
+        pool is cleared per rebuild, which is exactly the invalidation
+        the frozen instances' cached properties rely on.
+        """
+        key = (name, level, span, groups, interval, numa, imbalance_ratio)
+        domain = self._domain_pool.get(key)
+        if domain is None:
+            domain = SchedDomain(
+                name, level, span, groups, interval,
+                numa=numa, imbalance_ratio=imbalance_ratio,
+            )
+            self._domain_pool[key] = domain
+        return domain
 
     def domains_of(self, cpu_id: int) -> List[SchedDomain]:
         """Bottom-up domain list of one CPU (empty when offline)."""
@@ -251,7 +290,7 @@ class DomainBuilder:
                 self._make_group(frozenset([c])) for c in sorted(smt_span)
             )
             domains.append(
-                SchedDomain(
+                self._make_domain(
                     "SMT", level, smt_span, groups, self._interval(level),
                     imbalance_ratio=1.05,
                 )
@@ -276,7 +315,7 @@ class DomainBuilder:
                     for c in sorted(node_cpus)
                 ]
             domains.append(
-                SchedDomain(
+                self._make_domain(
                     "MC", level, node_cpus, tuple(group_list),
                     self._interval(level), imbalance_ratio=1.10,
                 )
@@ -305,7 +344,7 @@ class DomainBuilder:
             if domains and span == domains[-1].span:
                 continue
             domains.append(
-                SchedDomain(
+                self._make_domain(
                     f"NUMA-{hops}hop", level, span, groups,
                     self._interval(level), numa=True,
                     imbalance_ratio=1.05,

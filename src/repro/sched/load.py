@@ -79,6 +79,14 @@ class LoadTracker:
         if delta <= 0:
             return self.util
         target = 1.0 if was_running else 0.0
+        if self.util == target:
+            # Converged average: target + (util - target) * decay is
+            # exactly target for any decay, so skip the exp().  A task
+            # that runs (or sleeps) for ~53 half-lives converges to the
+            # target *exactly* in IEEE double -- steady-state hogs hit
+            # this on every subsequent update.
+            self.last_update_us = now
+            return self.util
         decay = math.exp(-delta / UTIL_TAU_US)
         self.util = target + (self.util - target) * decay
         self.last_update_us = now
@@ -90,6 +98,10 @@ class LoadTracker:
         if delta <= 0:
             return self.util
         target = 1.0 if is_running else 0.0
+        if self.util == target:
+            # Same exact-convergence shortcut as update(): the decayed
+            # value is bit-identical to the target, no exp() needed.
+            return self.util
         decay = math.exp(-delta / UTIL_TAU_US)
         return target + (self.util - target) * decay
 

@@ -71,6 +71,12 @@ class RunQueue:
         #: This queue's own mutation counter: unlike ``load_epoch`` it is
         #: private, so one CPU's churn does not dirty its siblings' caches.
         self.mutations = 0
+        #: Optional vectorized mirror (repro.sched.vecstate.VecState) set
+        #: by the scheduler; every mutation that bumps ``mutations`` also
+        #: marks this queue's mirror slot dirty.  ``requeue``/``put_prev``
+        #: deliberately bump neither (the task *set* is unchanged), so the
+        #: mirror's coherence contract is exactly the memo contract.
+        self.vec = None
         #: Memo of the last load(now) summation, keyed by
         #: (now, own mutations, divisor epoch).
         self._cached_load_now = -1
@@ -128,8 +134,12 @@ class RunQueue:
         self._nr_running += 1
         self._total_weight += task.weight
         self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)
         if self._nr_running == 1:
             self.idle_epoch.bump()
+            if self.vec is not None:
+                self.vec.mark_idle_change(self.cpu_id)
         self.load_epoch.bump()
         self._notify(now)
 
@@ -139,8 +149,12 @@ class RunQueue:
         self._nr_running -= 1
         self._total_weight -= task.weight
         self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)
         if self._nr_running == 0:
             self.idle_epoch.bump()
+            if self.vec is not None:
+                self.vec.mark_idle_change(self.cpu_id)
         self.load_epoch.bump()
         self._notify(now)
 
@@ -170,8 +184,12 @@ class RunQueue:
             task.cpu = self.cpu_id
             task.prev_cpu = self.cpu_id
         self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)
         if was_empty != (self._nr_running == 0):
             self.idle_epoch.bump()
+            if self.vec is not None:
+                self.vec.mark_idle_change(self.cpu_id)
         self.load_epoch.bump()
         self._notify(now)
 
@@ -201,8 +219,12 @@ class RunQueue:
         self._nr_running -= 1
         self._total_weight -= task.weight
         self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)
         if self._nr_running == 0:
             self.idle_epoch.bump()
+            if self.vec is not None:
+                self.vec.mark_idle_change(self.cpu_id)
         self.load_epoch.bump()
         self._notify(now)
         return task
@@ -212,15 +234,24 @@ class RunQueue:
         return None if pair is None else pair[0][0]
 
     def update_min_vruntime(self) -> None:
-        """Advance the monotonic vruntime floor (kernel semantics)."""
-        candidates = []
-        if self.curr is not None:
-            candidates.append(self.curr.vruntime)
-        left = self.leftmost_vruntime()
-        if left is not None:
-            candidates.append(left)
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+        """Advance the monotonic vruntime floor (kernel semantics).
+
+        Equivalent to ``max(min_vruntime, min(candidates))`` over the
+        running task's vruntime and the tree's leftmost key, written
+        branch-by-branch because this runs on every accounting point.
+        """
+        curr = self.curr
+        pair = self._tree.leftmost()
+        if curr is not None:
+            floor = curr.vruntime
+            if pair is not None and pair[0][0] < floor:
+                floor = pair[0][0]
+        elif pair is not None:
+            floor = pair[0][0]
+        else:
+            return
+        if floor > self.min_vruntime:
+            self.min_vruntime = floor
 
     # -- introspection -----------------------------------------------------------
 
@@ -271,15 +302,18 @@ class RunQueue:
 
     def _notify(self, now: int) -> None:
         probe = self.probe
-        if probe is not None:
-            probe.on_nr_running(now, self.cpu_id, self.nr_running)
-            # The load summation is the expensive part of a notification;
-            # skip it entirely when no attached probe consumes load samples.
-            # Baseline mode computes it eagerly like the pre-fast-path code
-            # did; probes that ignore the sample produce the same trace, so
-            # the two modes stay byte-identical.
-            if not self._load_cache_enabled or probe.wants_rq_load():
-                probe.on_rq_load(now, self.cpu_id, self.load(now))
+        # An inert probe (the no-op base class, ``active`` False) costs
+        # one attribute check per mutation instead of two hook calls.
+        if probe is None or not probe.active:
+            return
+        probe.on_nr_running(now, self.cpu_id, self.nr_running)
+        # The load summation is the expensive part of a notification;
+        # skip it entirely when no attached probe consumes load samples.
+        # Baseline mode computes it eagerly like the pre-fast-path code
+        # did; probes that ignore the sample produce the same trace, so
+        # the two modes stay byte-identical.
+        if not self._load_cache_enabled or probe.wants_rq_load():
+            probe.on_rq_load(now, self.cpu_id, self.load(now))
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,7 @@ from repro.sched.domains import DomainBuilder
 from repro.sched.features import SchedFeatures
 from repro.sched.load import LoadEpoch
 from repro.sched.task import Task, TaskState
+from repro.sched.vecstate import VecState
 from repro.topology.machine import MachineTopology
 from repro.viz.events import Probe
 
@@ -75,6 +76,19 @@ class Scheduler:
             for cpu_id in range(topology.num_cpus)
         ]
         self.domain_builder = DomainBuilder(topology, self.features)
+        #: Persistent array-backed sampling layer (the vectorized core).
+        #: It subsumes the per-pass BalancePass, so it is only built when
+        #: the fast paths it replaces are on; every runqueue gets a
+        #: write-through hook so mutations mark their mirror slot dirty.
+        self.vec: Optional[VecState] = None
+        if (
+            self.features.perf_vectorized
+            and self.features.perf_balance_stats
+            and self.features.perf_load_cache
+        ):
+            self.vec = VecState(self)
+            for cpu in self.cpus:
+                cpu.rq.vec = self.vec
         #: Live tasks by tid.
         self.tasks: Dict[int, Task] = {}
         #: Idle CPUs that received work and need a dispatch.
@@ -89,6 +103,20 @@ class Scheduler:
 
     def cpu(self, cpu_id: int) -> Cpu:
         return self.cpus[cpu_id]
+
+    def vec_pass(self, now: int) -> Optional[lb.SamplingPass]:
+        """The sampling layer for one rebalance pass at ``now``.
+
+        The persistent vectorized mirror when enabled (one instance, so
+        the synchronized newidle bursts sharing a timestamp hit its
+        memos), else a fresh per-pass :class:`~repro.sched.balance.
+        BalancePass`, else None (the baseline recompute-everything mode).
+        """
+        if self.vec is not None:
+            return self.vec.begin(now)
+        if self.features.perf_balance_stats:
+            return lb.BalancePass(self, now)
+        return None
 
     def online_cpus(self) -> List[Cpu]:
         return [c for c in self.cpus if c.online]
@@ -176,7 +204,7 @@ class Scheduler:
     def _enqueue_on(
         self, task: Task, cpu_id: int, now: int, wakeup: bool
     ) -> None:
-        cpu = self.cpu(cpu_id)
+        cpu = self.cpus[cpu_id]
         if not cpu.online:
             raise ValueError(f"cpu {cpu_id} is offline")
         was_idle = cpu.is_idle
@@ -198,7 +226,7 @@ class Scheduler:
         The caller must have descheduled the previous task.  Returns None
         (and marks the CPU idle) when no work could be found or stolen.
         """
-        cpu = self.cpu(cpu_id)
+        cpu = self.cpus[cpu_id]
         if cpu.rq.curr is not None:
             raise RuntimeError(
                 f"cpu {cpu_id} still runs {cpu.rq.curr}; deschedule first"
@@ -230,7 +258,7 @@ class Scheduler:
 
     def account(self, cpu_id: int, now: int) -> int:
         """Charge runtime since the last accounting point; returns the delta."""
-        cpu = self.cpu(cpu_id)
+        cpu = self.cpus[cpu_id]
         delta = now - cpu.last_account_us
         if delta <= 0:
             return 0
@@ -251,7 +279,7 @@ class Scheduler:
         ``requeue=False`` leaves it dequeued (sleep/block/exit -- the caller
         sets the final state).  Runtime is accounted first.
         """
-        cpu = self.cpu(cpu_id)
+        cpu = self.cpus[cpu_id]
         curr = cpu.rq.curr
         if curr is None:
             return None
@@ -299,10 +327,7 @@ class Scheduler:
         # sweep below): they all observe the same timestamp, so per-CPU
         # samples and folded group stats carry across until a migration
         # dirties the load epoch.
-        bpass = (
-            lb.BalancePass(self, now)
-            if self.features.perf_balance_stats else None
-        )
+        bpass = self.vec_pass(now)
         for cpu in self.cpus:
             if not cpu.online:
                 continue
@@ -353,6 +378,10 @@ class Scheduler:
         self.domain_builder.set_cpu_online(cpu_id, online)
         # Online-state changes alter designated-balancer elections.
         self.idle_epoch.bump()
+        if self.vec is not None:
+            # The rebuild dropped every interned group/domain object; the
+            # mirror's id-keyed gather plans must go with them.
+            self.vec.on_topology_change()
         return evicted
 
     # -- invariants ------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Array-kernel backends for the vectorized core (numpy optional).
+
+The vectorized balance layer (:mod:`repro.sched.vecstate`) keeps per-CPU
+state in flat struct-of-arrays mirrors and folds group statistics from
+them in bulk.  Two interchangeable backends provide the wide-group fold
+kernel:
+
+* :class:`_NumpyOps` -- the integer reductions run as ``int64`` vector
+  ops over the gathered member slots.
+* :class:`_PythonOps` -- the pure-Python fallback, selected
+  automatically when numpy is not importable (or forced with
+  ``REPRO_NO_NUMPY=1``).  Same semantics, no dependency.
+
+**Adaptive dispatch.**  Groups narrower than ``bulk_min`` members are
+folded by an in-frame scalar loop in :mod:`repro.sched.vecstate`: below
+that width the gather (one Python-level indexing op per member) costs
+more than any C reduction saves, and profile runs on the 64-CPU
+reference topology (groups of 1..32 members) show the crossover well
+above it.  The backend kernel therefore only engages for machine-scale
+groups; on small boxes the numpy and fallback variants intentionally
+run the identical scalar loop -- which is also what makes their digest
+equality structural rather than coincidental.
+
+**Float-summation discipline.**  Group *load sums* feed threshold
+comparisons that decide migrations, so they must reproduce the scalar
+path's sequential left-to-right ``sum()`` bit for bit.  numpy's
+``ndarray.sum``/``add.reduceat`` use pairwise summation, which rounds
+differently; the load fold therefore runs Python's sequential ``sum()``
+over the gathered member values.  Integer reductions (``nr_running``
+sums, min/max queue depths) are exact in any order, so the numpy
+backend folds those as true vector ops over an ``int64`` mirror.
+
+**Object-exactness discipline.**  Load *values* are mirrored as the
+exact Python objects ``RunQueue.load(now)`` returned -- never copied
+into a ``float64`` buffer.  An idle queue's load is ``sum([]) == 0``,
+the *int* zero; the schedule digest hashes ints and skips floats, so a
+mirror that coerced it to ``0.0`` would silently drop the group-metric
+field from ``BalanceEvent`` records whenever the Group Imbalance fix
+selects ``min_load``.  Folding ``sum``/``min``/``max`` over the
+original objects (Python ``min``/``max`` return the first minimal /
+maximal *element*, matching the scalar fold's tie-breaking) keeps every
+variant's schedule digest byte-identical (see
+``repro bench --check-digests``).
+
+Likewise, per-task utilization decay stays on scalar ``math.exp`` in
+:mod:`repro.sched.load`: ``numpy.exp`` differs from ``math.exp`` in the
+last ulp for a measurable fraction of inputs, so the tracker is *read*,
+never re-derived, by the vector layer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence, Tuple, Union
+
+#: Set to any non-empty value to pretend numpy is not installed (CI's
+#: fallback leg and the in-process digest cross-check use this).
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+
+def _import_numpy():  # pragma: no cover - trivial import guard
+    if os.environ.get(NO_NUMPY_ENV):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+_NUMPY = _import_numpy()
+
+#: True when the numpy backend is available in this process.
+HAVE_NUMPY = _NUMPY is not None
+
+#: (load_sum, load_min, load_max, nr_sum, nr_min, nr_max) of one group.
+#: The load fields are whatever objects the fold's sum/min/max produce
+#: over the mirrored queue loads -- the int zero included (see above).
+GroupFold = Tuple[float, float, float, int, int, int]
+
+
+class _NumpyOps:
+    """numpy-backed wide-group fold kernel."""
+
+    name = "numpy"
+
+    #: Narrowest group the vector kernel pays off for (see module doc).
+    bulk_min = 64
+
+    def __init__(self) -> None:
+        if _NUMPY is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is unavailable "
+                f"(not installed, or {NO_NUMPY_ENV} is set)"
+            )
+        self._np = _NUMPY
+
+    def fold_group(
+        self, loads: Sequence[float], nrs: Sequence[int], cpus: Sequence[int]
+    ) -> GroupFold:
+        # The load fold walks the exact mirrored objects (sequential sum,
+        # first-wins min/max -- see the module docstring); the integer
+        # side gathers into an int64 vector and reduces in C (exact in
+        # any order).
+        np = self._np
+        vals = [loads[c] for c in cpus]
+        ns = np.fromiter(
+            (nrs[c] for c in cpus), dtype=np.int64, count=len(cpus)
+        )
+        return (
+            sum(vals),
+            min(vals),
+            max(vals),
+            int(ns.sum()),
+            int(ns.min()),
+            int(ns.max()),
+        )
+
+
+class _PythonOps:
+    """Dependency-free fallback: builtin reductions over gathered lists."""
+
+    name = "python"
+
+    #: Same crossover as the numpy backend, so both backends take the
+    #: same code path for the same group widths (structural identity).
+    bulk_min = 64
+
+    def fold_group(
+        self, loads: Sequence[float], nrs: Sequence[int], cpus: Sequence[int]
+    ) -> GroupFold:
+        vals = [loads[c] for c in cpus]
+        ns = [nrs[c] for c in cpus]
+        return (sum(vals), min(vals), max(vals), sum(ns), min(ns), max(ns))
+
+
+VecOps = Union[_NumpyOps, _PythonOps]
+
+
+def make_ops(backend: str = "auto") -> VecOps:
+    """Instantiate the array backend.
+
+    ``"auto"`` picks numpy when importable (and not disabled via
+    ``REPRO_NO_NUMPY``), else the pure-Python fallback.  ``"numpy"`` and
+    ``"python"`` force a specific backend -- the bench harness runs both
+    in one process to cross-check their digests.
+    """
+    if backend == "auto":
+        backend = "numpy" if HAVE_NUMPY else "python"
+    if backend == "numpy":
+        return _NumpyOps()
+    if backend == "python":
+        return _PythonOps()
+    raise ValueError(f"unknown vec backend {backend!r}")

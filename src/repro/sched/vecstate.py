@@ -1,0 +1,648 @@
+"""Persistent struct-of-arrays mirror of per-CPU scheduler state.
+
+:class:`VecState` is the vectorized successor of
+:class:`~repro.sched.balance.BalancePass`: instead of rebuilding flat
+sample arrays for every rebalance pass, one scheduler-lifetime instance
+keeps flat (load, nr_running) mirrors -- the loads as the exact objects
+the queues returned (see the object-exactness note in
+:mod:`repro.sched.vec`) -- and keeps them coherent through the existing
+epoch-bump protocol:
+
+* every load-affecting runqueue mutation calls :meth:`mark_dirty` (wired
+  next to the queue's own ``mutations`` bump), which queues the slot for
+  resampling and advances the private fold version;
+* a new pass timestamp invalidates every load sample at once (loads are
+  a function of ``now``); the resample sweep reads each queue's
+  memoized ``load(now)``, so the mirrored floats are the *same objects*
+  the scalar path computes;
+* cgroup divisor bumps drop all load samples, idle-epoch bumps drop the
+  designated-balancer memo, hotplug (:meth:`on_topology_change`) drops
+  the interned group/domain index caches -- exactly the invalidation
+  triggers ``BalancePass._refresh`` honors, checked per lookup so
+  mid-pass epoch traffic is observed just like the per-pass layer.
+
+Group folds gather member slots through pre-built gather plans (one per
+interned :class:`~repro.sched.domains.SchedGroup`) and reduce them with
+an in-frame scalar loop below the backend's ``bulk_min`` width, the
+backend kernel at or above it; sums keep the scalar path's sequential
+float-op order (see :mod:`repro.sched.vec` for why), so folded
+:class:`~repro.sched.balance.GroupStats` are bit-identical to the
+uncached fold and schedule digests match across all variants.  A fold
+is memoized as a flat list of its six reductions keyed ``(now,
+version)``; the :class:`~repro.sched.balance.GroupStats` object is
+materialized from it lazily, only when a caller actually receives the
+group (most folds lose the three-tier selection and are never handed
+out).  Because the instance persists, the synchronized bursts of
+newidle passes that share one timestamp -- which previously each
+rebuilt a fresh ``BalancePass`` -- collapse into memo hits.
+
+The vruntime floor and idle flags of the issue's mirror are exposed via
+:meth:`snapshot`; ``min_vruntime`` advances without epoch traffic (by
+design -- see ``RunQueue.update_min_vruntime``), so the floor is sampled
+on read rather than pretending an incremental mirror could stay
+coherent.  No balancing decision consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sched import vec
+from repro.sched.balance import (
+    GroupStats,
+    _elect_designated,
+    _fold_group_stats,
+)
+from repro.sched.sanitizer import verify_designated, verify_group_stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.domains import SchedDomain, SchedGroup
+    from repro.sched.scheduler import Scheduler
+
+#: A group's cached gather plan: (group, online members sorted, member
+#: count).  The group reference keeps the interned object alive so its
+#: id can never be recycled while the entry exists.
+_GroupEntry = Tuple["SchedGroup", Tuple[int, ...], int]
+
+#: Flat fold-memo entry (a list, for in-place re-stamping):
+#: [group, now, version, load_sum, load_min, load_max,
+#:  nr_sum, nr_min, nr_max, stats-or-None, cpus, member count].
+#: Slots 3..8 are the six reductions in the exact objects the scalar
+#: fold produces; slot 9 caches the lazily-materialized GroupStats.
+_F_STATS = 9
+
+
+class _DomainCache:
+    """Per-domain selection plan: nonempty groups, in declaration order."""
+
+    __slots__ = (
+        "domain", "entries", "examined", "local_slot", "ratio", "pair",
+    )
+
+    def __init__(
+        self,
+        domain: "SchedDomain",
+        entries: List[_GroupEntry],
+        examined: Tuple[int, ...],
+        local_slot: Dict[int, int],
+    ):
+        self.domain = domain
+        self.entries = entries
+        #: Concatenation of every nonempty group's member tuple -- the
+        #: ``examined`` list find_busiest_group reports to the probe.
+        self.examined = examined
+        #: First group slot containing each CPU (the scalar path's
+        #: "first group with stats containing dst_cpu" local rule).
+        self.local_slot = local_slot
+        #: The domain's imbalance threshold, hoisted off the dataclass.
+        self.ratio = domain.imbalance_ratio
+        #: The two member CPUs when the domain is exactly two one-CPU
+        #: groups (every SMT level on the reference topology -- half of
+        #: all balancing attempts), else None.  Such domains get a
+        #: closed-form selection that never touches the fold memo: a
+        #: singleton's fold is used by no other domain, so memoizing it
+        #: is pure overhead (the designated rule already guarantees one
+        #: attempt per domain per timestamp).
+        self.pair = (
+            (entries[0][1][0], entries[1][1][0])
+            if len(entries) == 2 and entries[0][2] == 1 and entries[1][2] == 1
+            else None
+        )
+
+
+class VecState:
+    """Array-backed balance sampling layer (one per scheduler)."""
+
+    #: Lets ``find_busiest_group`` route to the bulk path without an
+    #: isinstance check against this module (BalancePass carries False).
+    vectorized = True
+
+    __slots__ = (
+        "sched", "ops", "now", "_n", "_bulk", "_loads", "_nrs", "_dirty",
+        "_dirty_list", "_loads_at", "_version", "_div_ref",
+        "_div_epoch", "_gidx", "_gstats", "_designated", "_desig_by_cpu",
+        "_domains", "_sanitize", "_use_min",
+    )
+
+    def __init__(self, sched: "Scheduler"):
+        self.sched = sched
+        self.ops = vec.make_ops(sched.features.vec_backend)
+        n = len(sched.cpus)
+        self._n = n
+        self._bulk = self.ops.bulk_min
+        self.now = -1
+        #: Exact load objects as returned by each queue's ``load(now)``
+        #: -- a plain list on every backend, because an idle queue's
+        #: load is the *int* zero and the digest distinguishes int from
+        #: float fields (see the object-exactness note in
+        #: :mod:`repro.sched.vec`).
+        self._loads: List[float] = [0.0] * n
+        self._nrs: List[int] = [0] * n
+        #: Slots whose queue mutated since their last resample.  The
+        #: flag array dedups; the list makes the drain proportional to
+        #: the churn, not the machine size.
+        self._dirty = [False] * n
+        self._dirty_list: List[int] = []
+        #: Timestamp every non-dirty load slot is valid at (-1 = none).
+        self._loads_at = -1
+        #: Fold version: bumped by every mutation/epoch invalidation, so
+        #: a (now, version) pair keys the group-stats memos.
+        self._version = 0
+        self._div_ref = sched.divisor_epoch
+        self._div_epoch = self._div_ref.value
+        #: id(group) -> gather plan; id(group) -> flat fold-memo entry
+        #: (see module constants); id(group) -> (group, winner);
+        #: id(domain) -> plan.
+        self._gidx: Dict[int, _GroupEntry] = {}
+        self._gstats: Dict[int, List[object]] = {}
+        self._designated: Dict[int, Tuple["SchedGroup", int]] = {}
+        #: Per-CPU reverse index of the election memo: the id of every
+        #: group whose memoized winner read this CPU's idle flag.  An
+        #: idle<->busy transition invalidates exactly those entries
+        #: (dict-as-ordered-set so re-registration stays idempotent).
+        self._desig_by_cpu: List[Dict[int, bool]] = [{} for _ in range(n)]
+        self._domains: Dict[int, _DomainCache] = {}
+        self._sanitize = sched.features.sanitize_coherence
+        self._use_min = sched.features.fix_group_imbalance
+
+    # -- coherence ---------------------------------------------------------
+
+    def begin(self, now: int) -> "VecState":
+        """Start (or join) a pass at ``now``; returns self for chaining."""
+        self.now = now
+        return self
+
+    def mark_dirty(self, cpu_id: int) -> None:
+        """A load-affecting mutation happened on this CPU's queue."""
+        if not self._dirty[cpu_id]:
+            self._dirty[cpu_id] = True
+            self._dirty_list.append(cpu_id)
+        self._version += 1
+
+    def mark_idle_change(self, cpu_id: int) -> None:
+        """This CPU crossed the idle<->busy boundary.
+
+        Wired next to the queue's ``idle_epoch.bump()`` sites.  Elections
+        read only idle/online flags, so instead of dropping the whole
+        election memo on the (global) idle epoch -- which sleeper churn
+        bumps thousands of times a second -- only the entries whose mask
+        includes this CPU are dropped, via the reverse index.
+        """
+        bucket = self._desig_by_cpu[cpu_id]
+        if bucket:
+            designated = self._designated
+            for gid in bucket:
+                designated.pop(gid, None)
+            bucket.clear()
+
+    def on_topology_change(self) -> None:
+        """Hotplug rebuilt the domains: drop every interned index/memo."""
+        self._gidx.clear()
+        self._gstats.clear()
+        self._designated.clear()
+        for bucket in self._desig_by_cpu:
+            bucket.clear()
+        self._domains.clear()
+        self._loads_at = -1
+        self._version += 1
+
+    def _check_epochs(self) -> None:
+        # Mirrors BalancePass._refresh, re-checked per lookup: divisor
+        # bumps re-weight loads without runqueue events (idle traffic is
+        # handled precisely, per CPU, by mark_idle_change).
+        div = self._div_ref.value
+        if div != self._div_epoch:
+            self._div_epoch = div
+            self._loads_at = -1
+            self._version += 1
+
+    def _sync(self) -> None:
+        """Bring the (load, nr) mirrors current for ``now``.
+
+        A new timestamp stales every load sample at once (loads decay
+        with time), so the sweep resamples the whole machine through the
+        queues' own memoized ``load(now)`` -- the exact floats the
+        scalar path reads.  At an already-synced timestamp only the
+        dirty slots are drained.
+        """
+        now = self.now
+        loads = self._loads
+        nrs = self._nrs
+        if self._loads_at != now:
+            for cpu in self.sched.cpus:
+                rq = cpu.rq
+                i = rq.cpu_id
+                loads[i] = rq.load(now)
+                nrs[i] = rq._nr_running
+            self._loads_at = now
+            if self._dirty_list:
+                for i in self._dirty_list:
+                    self._dirty[i] = False
+                self._dirty_list.clear()
+        elif self._dirty_list:
+            cpus = self.sched.cpus
+            for i in self._dirty_list:
+                rq = cpus[i].rq
+                loads[i] = rq.load(now)
+                nrs[i] = rq._nr_running
+                self._dirty[i] = False
+            self._dirty_list.clear()
+
+    # -- gather plans ------------------------------------------------------
+
+    def _group_entry(self, group: "SchedGroup") -> _GroupEntry:
+        entry = self._gidx.get(id(group))
+        if entry is None:
+            cpus = tuple(
+                c for c in group.sorted_cpus() if self.sched.cpus[c].online
+            )
+            entry = (group, cpus, len(cpus))
+            self._gidx[id(group)] = entry
+        return entry
+
+    def _domain_cache(self, domain: "SchedDomain") -> _DomainCache:
+        entries: List[_GroupEntry] = []
+        examined: List[int] = []
+        local_slot: Dict[int, int] = {}
+        for group in domain.groups:
+            entry = self._group_entry(group)
+            if not entry[1]:
+                continue  # no online member: the scalar path skips it too
+            slot = len(entries)
+            entries.append(entry)
+            examined.extend(entry[1])
+            for c in group.sorted_cpus():
+                if c not in local_slot:
+                    local_slot[c] = slot
+        cache = _DomainCache(domain, entries, tuple(examined), local_slot)
+        self._domains[id(domain)] = cache
+        return cache
+
+    # -- the BalancePass interface ----------------------------------------
+
+    def group_stats(self, group: "SchedGroup") -> Optional[GroupStats]:
+        """Memoized bulk fold of one group's statistics at ``now``."""
+        self._check_epochs()
+        now = self.now
+        m = self._gstats.get(id(group))
+        if m is not None and m[1] == now and m[2] == self._version:
+            stats = self._materialize(m)
+            if self._sanitize:
+                verify_group_stats(
+                    group,
+                    stats,
+                    _fold_group_stats(self.sched, group, now, None),
+                )
+            return stats
+        if self._loads_at != now or self._dirty_list:
+            self._sync()
+        entry = self._group_entry(group)
+        if not entry[1]:
+            return None
+        return self._materialize(self._fold_entry(entry))
+
+    def _fold_entry(self, entry: _GroupEntry) -> List[object]:
+        """Fold one (nonempty) group into a fresh memo entry.
+
+        The six reductions use the exact expressions -- and, for the
+        float side, the exact sequential op order and element-object
+        results -- of ``_fold_group_stats``; the leading ``0 +`` of the
+        builtin ``sum`` is dropped, which is value- *and type*-exact
+        because queue loads are never negative zero.  Narrow groups
+        fold in-frame (one pass, no helper frames); machine-scale ones
+        go through the backend kernel.
+        """
+        group, cpus, k = entry
+        loads = self._loads
+        nrs = self._nrs
+        c = cpus[0]
+        v = loads[c]
+        nr = nrs[c]
+        if k == 1:
+            m: List[object] = [
+                group, self.now, self._version,
+                v, v, v, nr, nr, nr, None, cpus, 1,
+            ]
+        elif k < self._bulk:
+            ls = v
+            lmn = v
+            lmx = v
+            ns = nr
+            nmn = nr
+            nmx = nr
+            j = 1
+            while j < k:
+                c = cpus[j]
+                v = loads[c]
+                ls = ls + v
+                if v < lmn:
+                    lmn = v
+                elif v > lmx:
+                    lmx = v
+                nr = nrs[c]
+                ns = ns + nr
+                if nr < nmn:
+                    nmn = nr
+                elif nr > nmx:
+                    nmx = nr
+                j += 1
+            m = [
+                group, self.now, self._version,
+                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k,
+            ]
+        else:
+            ls, lmn, lmx, ns, nmn, nmx = self.ops.fold_group(
+                loads, nrs, cpus
+            )
+            m = [
+                group, self.now, self._version,
+                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k,
+            ]
+        self._gstats[id(group)] = m
+        return m
+
+    def _materialize(self, m: List[object]) -> GroupStats:
+        """The GroupStats of one fold-memo entry, built at most once."""
+        stats = m[_F_STATS]
+        if stats is None:
+            k = m[11]
+            # Same expressions (and float-op order) as _fold_group_stats.
+            stats = GroupStats(
+                group=m[0],  # type: ignore[arg-type]
+                cpus=m[10],  # type: ignore[arg-type]
+                avg_load=m[3] / k,  # type: ignore[operator]
+                min_load=m[4],  # type: ignore[arg-type]
+                max_load=m[5],  # type: ignore[arg-type]
+                nr_running=m[6],  # type: ignore[arg-type]
+                capacity=k,  # type: ignore[arg-type]
+                min_nr=m[7],  # type: ignore[arg-type]
+                max_nr=m[8],  # type: ignore[arg-type]
+            )
+            m[_F_STATS] = stats
+        return stats  # type: ignore[return-value]
+
+    def _singleton_stats(self, entry: _GroupEntry, c: int) -> GroupStats:
+        """GroupStats of a one-CPU group, built without memo traffic.
+
+        ``v / 1`` reproduces the generic ``sum([v]) / len`` average
+        exactly; the remaining fields are the member's own samples.
+        """
+        v = self._loads[c]
+        nr = self._nrs[c]
+        return GroupStats(
+            group=entry[0],
+            cpus=entry[1],
+            avg_load=v / 1,
+            min_load=v,
+            max_load=v,
+            nr_running=nr,
+            capacity=1,
+            min_nr=nr,
+            max_nr=nr,
+        )
+
+    def designated_for(self, group: "SchedGroup") -> int:
+        """Memoized designated-balancer election for one local group.
+
+        Valid until a mask member crosses the idle<->busy boundary
+        (:meth:`mark_idle_change`) or hotplug rebuilds the topology --
+        the only inputs an election reads.
+        """
+        # Memo probe first: the common caller (a due periodic-balance
+        # level) hits it thousands of times between invalidations.
+        entry = self._designated.get(id(group))
+        if entry is not None:
+            if self._sanitize:
+                verify_designated(
+                    group, entry[1], _elect_designated(self.sched, group)
+                )
+            return entry[1]
+        mask = group.sorted_balance_mask()
+        if len(mask) == 1:
+            # One-CPU masks elect themselves; no memo traffic needed
+            # (and the plan-cached periodic path resolves these inline).
+            only = mask[0]
+            return only if self.sched.cpus[only].online else -1
+        winner = _elect_designated(self.sched, group)
+        self._designated[id(group)] = (group, winner)
+        by_cpu = self._desig_by_cpu
+        for c in mask:
+            by_cpu[c][id(group)] = True
+        return winner
+
+    # -- bulk busiest-group selection --------------------------------------
+
+    def find_busiest(
+        self, domain: "SchedDomain", dst_cpu: int, need_local: bool = True
+    ) -> Tuple[Optional[GroupStats], Optional[GroupStats], Tuple[int, ...]]:
+        """(busiest, local, examined) for one balancing attempt.
+
+        ``need_local=False`` (an inert probe) skips materializing the
+        local GroupStats on *balanced* outcomes, where the caller
+        consumes it only for the probe record; a found busiest group
+        always returns both stats.
+
+        Decision-identical to the scalar ``find_busiest_group`` body:
+        same local-group rule (first nonempty group containing the
+        destination), same overloaded > imbalanced > any tier order with
+        first-max-wins ties, same imbalance-ratio threshold expression.
+
+        (The selection itself is deliberately *not* memoized: the
+        designated-balancer rule already guarantees at most one CPU per
+        (domain, local group) balances at any timestamp, so a selection
+        memo can never hit -- only the group folds underneath repeat,
+        and those carry the fold memo.)
+
+        The body is deliberately flat: the epoch check, the mirror
+        sync gate, the per-group fold-memo probes, and the three-tier
+        selection all run in this one frame.  The selection compares
+        raw memo slots and materializes GroupStats objects only for
+        the (at most two) groups actually returned.
+        """
+        # Inline _check_epochs (divisor only; idle invalidation is
+        # per-CPU via mark_idle_change).
+        div = self._div_ref.value
+        if div != self._div_epoch:
+            self._div_epoch = div
+            self._loads_at = -1
+            self._version += 1
+        cache = self._domains.get(id(domain))
+        if cache is None:
+            cache = self._domain_cache(domain)
+        if self._sanitize:
+            busiest, local = self._select_checked(
+                cache, cache.local_slot.get(dst_cpu, -1)
+            )
+            return busiest, local, cache.examined
+        now = self.now
+        if self._loads_at != now or self._dirty_list:
+            self._sync()
+        use_min = self._use_min
+        loads = self._loads
+        pair = cache.pair
+        if pair is not None:
+            # Two one-CPU groups: the three-tier loop always selects
+            # the non-local group (a singleton is never `imbalanced`;
+            # the any-group tier seeds it even at metric zero), so the
+            # decision collapses to the threshold compare.  ``v / 1``
+            # reproduces the generic ``sum([v]) / len`` average exactly
+            # (IEEE division by one is exact; the int zero of an idle
+            # queue becomes the same 0.0).
+            c0, c1 = pair
+            if dst_cpu == c0:
+                lc, oc, li, oi = c0, c1, 0, 1
+            elif dst_cpu == c1:
+                lc, oc, li, oi = c1, c0, 1, 0
+            else:
+                return None, None, cache.examined
+            if use_min:
+                best_metric = loads[oc]
+                local_metric = loads[lc]
+            else:
+                best_metric = loads[oc] / 1
+                local_metric = loads[lc] / 1
+            if best_metric <= local_metric * cache.ratio:
+                if need_local:
+                    return (
+                        None,
+                        self._singleton_stats(cache.entries[li], lc),
+                        cache.examined,
+                    )
+                return None, None, cache.examined
+            return (
+                self._singleton_stats(cache.entries[oi], oc),
+                self._singleton_stats(cache.entries[li], lc),
+                cache.examined,
+            )
+        version = self._version
+        gstats = self._gstats
+        folds: List[List[object]] = []
+        append = folds.append
+        for entry in cache.entries:
+            m = gstats.get(id(entry[0]))
+            if m is not None and m[1] == now and m[2] == version:
+                append(m)
+            else:
+                append(self._fold_entry(entry))
+        local_idx = cache.local_slot.get(dst_cpu, -1)
+        if local_idx < 0:
+            return None, None, cache.examined
+        local_m = folds[local_idx]
+        n_slots = len(folds)
+        if n_slots < 2:
+            if need_local:
+                return None, self._materialize(local_m), cache.examined
+            return None, None, cache.examined
+        # Three-tier selection (overloaded > imbalanced > any), first
+        # max wins -- the scalar best_of chain over raw memo slots.
+        best = -1
+        best_metric = 0.0
+        for tier in (0, 1, 2):
+            i = 0
+            while i < n_slots:
+                if i != local_idx:
+                    m = folds[i]
+                    if tier == 0:
+                        if m[6] <= m[11]:  # not overloaded
+                            i += 1
+                            continue
+                    elif tier == 1:
+                        if m[8] - m[7] < 2:  # not imbalanced
+                            i += 1
+                            continue
+                    metric = m[4] if use_min else m[3] / m[11]
+                    if best < 0 or metric > best_metric:
+                        best = i
+                        best_metric = metric
+                i += 1
+            if best >= 0:
+                break
+        if best < 0:
+            if need_local:
+                return None, self._materialize(local_m), cache.examined
+            return None, None, cache.examined
+        local_metric = (
+            local_m[4] if use_min else local_m[3] / local_m[11]
+        )
+        if best_metric <= local_metric * cache.ratio:
+            if need_local:
+                return None, self._materialize(local_m), cache.examined
+            return None, None, cache.examined
+        return (
+            self._materialize(folds[best]),
+            self._materialize(local_m),
+            cache.examined,
+        )
+
+    def _select_checked(
+        self, cache: _DomainCache, local_idx: int
+    ) -> Tuple[Optional[GroupStats], Optional[GroupStats]]:
+        """Sanitizer-mode selection: every fold verified via group_stats.
+
+        Runs the same three tiers over materialized GroupStats so each
+        group passes through :meth:`group_stats`' cross-check against a
+        from-scratch fold.
+        """
+        stats_list = [self.group_stats(entry[0]) for entry in cache.entries]
+        if local_idx < 0:
+            return None, None
+        local = stats_list[local_idx]
+        if len(stats_list) < 2:
+            return None, local
+        use_min = self._use_min
+        best: Optional[GroupStats] = None
+        best_metric = 0.0
+        for tier in (0, 1, 2):
+            for i, stats in enumerate(stats_list):
+                if i == local_idx or stats is None:
+                    continue
+                if tier == 0 and not stats.overloaded:
+                    continue
+                if tier == 1 and not stats.imbalanced:
+                    continue
+                metric = stats.min_load if use_min else stats.avg_load
+                if best is None or metric > best_metric:
+                    best = stats
+                    best_metric = metric
+            if best is not None:
+                break
+        if best is None or local is None:
+            return None, local
+        local_metric = local.min_load if use_min else local.avg_load
+        if best_metric <= local_metric * cache.ratio:
+            return None, local
+        return best, local
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The refreshed struct-of-arrays mirror, as plain lists.
+
+        The vruntime floor is sampled here (it advances without epoch
+        traffic, by design); loads/nr come from the coherent buffers.
+        """
+        self._check_epochs()
+        self._sync()
+        sched = self.sched
+        nrs = list(self._nrs)
+        return {
+            "backend": self.ops.name,
+            "now": self.now,
+            "load": [float(v) for v in self._loads],
+            "nr_running": nrs,
+            "vruntime_floor": [c.rq.min_vruntime for c in sched.cpus],
+            "idle": [n == 0 for n in nrs],
+            "online": [c.online for c in sched.cpus],
+            "epochs": {
+                "load": sched.load_epoch.value,
+                "idle": sched.idle_epoch.value,
+                "divisor": self._div_epoch,
+                "version": self._version,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"VecState(backend={self.ops.name}, cpus={self._n}, "
+            f"now={self.now}us, version={self._version})"
+        )

@@ -118,7 +118,9 @@ def _select_idle_sibling(
         for c in sorted(topo.llc_siblings(target))
         if sched.cpu(c).online and task.can_run_on(c)
     ]
-    sched.probe.on_considered(now, target, "select_idle_sibling", candidates)
+    probe = sched.probe
+    if probe.active:
+        probe.on_considered(now, target, "select_idle_sibling", candidates)
     if task.can_run_on(target) and sched.cpu(target).is_idle:
         return target
     # Prefer an idle SMT sibling (shared FPU, hottest cache), then any
@@ -168,7 +170,7 @@ def _longest_idle_cpu(
         if best_since is None or since < best_since:
             best = cpu.cpu_id
             best_since = since
-    if considered:
+    if considered and sched.probe.active:
         sched.probe.on_considered(
             now, considered[0], "wake_longest_idle", considered
         )
@@ -252,7 +254,8 @@ def _find_idlest_group(
         if best_load is None or load < best_load:
             best = group
             best_load = load
-    sched.probe.on_considered(now, cpu_id, "find_idlest_group", examined)
+    if sched.probe.active:
+        sched.probe.on_considered(now, cpu_id, "find_idlest_group", examined)
     if best is None:
         return local[0] if local is not None else None
     if local is None:

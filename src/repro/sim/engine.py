@@ -11,6 +11,13 @@ compacted in one pass.  Long NOHZ-heavy runs -- which cancel timer after
 timer -- therefore stop degrading as garbage accumulates.  Compaction only
 reorganizes the heap around the same ``(when, seq)`` total order, so the
 firing sequence is byte-identical with compaction on or off.
+
+The vectorized core (``SchedFeatures.with_vectorized``) additionally turns
+on *batched draining*: :meth:`EventLoop.run_until` extracts each
+same-timestamp cohort from the heap at once, applies the lazy-cancel mask
+in one sweep, and dispatches the survivors in one pass -- same ``(when,
+seq)`` order, so traces stay byte-identical (pinned by
+test_batch_order.py).
 """
 
 from __future__ import annotations
@@ -36,9 +43,14 @@ class SimulationError(RuntimeError):
 
 
 class _Event:
-    """A scheduled callback; cancellation just flags the entry (lazy delete)."""
+    """A scheduled callback; cancellation just flags the entry (lazy delete).
 
-    __slots__ = ("when", "seq", "callback", "cancelled", "fired", "label")
+    Events never define ordering themselves: the heap stores ``(when,
+    seq, event)`` triples, so heapq compares plain ints in C (the unique
+    ``seq`` guarantees the event object is never reached by a compare).
+    """
+
+    __slots__ = ("when", "seq", "callback", "cancelled", "fired", "popped", "label")
 
     def __init__(self, when: int, seq: int, callback: Callable[[], None], label: str):
         self.when = when
@@ -46,10 +58,12 @@ class _Event:
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        #: True once the entry left the heap.  Batched draining extracts a
+        #: whole same-timestamp cohort before firing it, so an event can be
+        #: cancelled while popped-but-unfired; the flag keeps the loop's
+        #: lazy-cancel accounting exact (such a cancel is not heap garbage).
+        self.popped = False
         self.label = label
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
 
 
 class EventHandle:
@@ -71,7 +85,7 @@ class EventHandle:
         if event.cancelled or event.fired:
             return
         event.cancelled = True
-        self._loop._note_cancel()
+        self._loop._note_cancel(event)
 
     @property
     def cancelled(self) -> bool:
@@ -86,8 +100,15 @@ class EventHandle:
 class EventLoop:
     """A discrete-event loop over integer-microsecond virtual time."""
 
-    def __init__(self, start_time: int = 0, compact: bool = True):
+    def __init__(
+        self, start_time: int = 0, compact: bool = True, batch: bool = False
+    ):
         self._now = start_time
+        #: Batched draining: ``run_until`` extracts whole same-timestamp
+        #: cohorts and fires them through one dispatch pass (the heap's
+        #: (when, seq) order is preserved, so firing order -- and every
+        #: trace -- is byte-identical to event-at-a-time draining).
+        self._batch = batch
         self._heap: list = []
         self._seq = itertools.count()
         self._events_fired = 0
@@ -137,14 +158,29 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at {when}us, now is {self._now}us"
             )
-        event = _Event(when, next(self._seq), callback, label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = _Event(when, seq, callback, label)
+        heapq.heappush(self._heap, (when, seq, event))
         self._live += 1
         return EventHandle(event, self)
 
-    def _note_cancel(self) -> None:
-        """Account one cancellation; compact when garbage dominates."""
+    def _note_cancel(self, event: _Event) -> None:
+        """Account one cancellation; compact when garbage dominates.
+
+        Compaction triggers when lazy cancels outnumber live heap entries
+        *and* the heap has at least ``_COMPACT_MIN_HEAP`` (64) entries --
+        rebuilding a smaller heap costs more than its dead entries do.
+        Steady-state simulations keep small heaps (one phase-end per busy
+        CPU plus sleeper timers) and pop cancelled entries within
+        microseconds, so the benchmarks legitimately report
+        ``heap_compactions == 0``; see test_engine.py for a workload
+        shaped to force one.
+        """
         self._live -= 1
+        if event.popped:
+            # Cancelled between batch extraction and firing: the entry is
+            # no longer in the heap, so it is not lazy-delete garbage.
+            return
         self._lazy_cancels += 1
         if (
             self._compact_enabled
@@ -160,7 +196,7 @@ class EventLoop:
         so subsequent pops produce exactly the order lazy deletion would
         have -- compaction is invisible to the simulation.
         """
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [t for t in self._heap if not t[2].cancelled]
         heapq.heapify(self._heap)
         self._lazy_cancels = 0
         self.compactions += 1
@@ -179,21 +215,62 @@ class EventLoop:
             raise SimulationError("event loop is not reentrant")
         self._running = True
         try:
-            while self._heap and self._heap[0].when <= deadline:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
-                    self._lazy_cancels -= 1
-                    continue
-                event.fired = True
-                self._live -= 1
-                self._now = event.when
-                self._events_fired += 1
-                if _TP_CALLBACK.enabled:
-                    _TP_CALLBACK.emit(self._now, label=event.label)
-                event.callback()
+            if self._batch:
+                self._drain_batched(deadline)
+            else:
+                heap = self._heap
+                while heap and heap[0][0] <= deadline:
+                    event = heapq.heappop(heap)[2]
+                    if event.cancelled:
+                        self._lazy_cancels -= 1
+                        continue
+                    event.fired = True
+                    self._live -= 1
+                    self._now = event.when
+                    self._events_fired += 1
+                    if _TP_CALLBACK.enabled:
+                        _TP_CALLBACK.emit(self._now, label=event.label)
+                    event.callback()
             self._now = deadline
         finally:
             self._running = False
+
+    def _drain_batched(self, deadline: int) -> None:
+        """Fire events in same-timestamp cohorts (the vectorized core).
+
+        Heap pops at one timestamp already come out in ``seq`` order, so
+        extracting the whole cohort first and dispatching it in one pass
+        preserves the exact firing order of event-at-a-time draining.
+        The lazy-cancel mask is applied to the cohort in one sweep; a
+        callback cancelling a *later* event of its own cohort is honored
+        by the per-event flag check (with the accounting handled by
+        ``_note_cancel`` via the ``popped`` marker).  Callbacks that
+        schedule new work at the current timestamp are picked up by the
+        outer loop as a follow-on cohort -- their sequence numbers are
+        necessarily higher, so ordering is again identical.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][0] <= deadline:
+            when = heap[0][0]
+            cohort: list = []
+            append = cohort.append
+            while heap and heap[0][0] == when:
+                event = heappop(heap)[2]
+                event.popped = True
+                append(event)
+            live = [e for e in cohort if not e.cancelled]
+            self._lazy_cancels -= len(cohort) - len(live)
+            self._now = when
+            for event in live:
+                if event.cancelled:
+                    continue  # cancelled by an earlier callback this cohort
+                event.fired = True
+                self._live -= 1
+                self._events_fired += 1
+                if _TP_CALLBACK.enabled:
+                    _TP_CALLBACK.emit(when, label=event.label)
+                event.callback()
 
     def run_while(
         self,
@@ -216,8 +293,8 @@ class EventLoop:
         self._running = True
         try:
             next_check = self._now
-            while self._heap and self._heap[0].when <= deadline:
-                event = heapq.heappop(self._heap)
+            while self._heap and self._heap[0][0] <= deadline:
+                event = heapq.heappop(self._heap)[2]
                 if event.cancelled:
                     self._lazy_cancels -= 1
                     continue

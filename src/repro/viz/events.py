@@ -127,6 +127,19 @@ class Probe:
     cheap; they run on the simulator's hottest paths.
     """
 
+    #: False only on this no-op base class: the hottest call sites
+    #: (runqueue notification, balance outcomes) check the flag and skip
+    #: the hook call -- and the argument computation feeding it --
+    #: entirely when nothing listens.  Every subclass is assumed to
+    #: listen; one that wants the skip too can set ``active = False``
+    #: in its class body.
+    active = False
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if "active" not in cls.__dict__:
+            cls.active = True
+
     def on_nr_running(self, now: int, cpu: int, nr_running: int) -> None:
         """Runqueue size changed."""
 
@@ -337,16 +350,25 @@ class TraceProbe(Probe):
 
 
 class FanoutProbe(Probe):
-    """Forwards every hook to an ordered list of probes."""
+    """Forwards every hook to an ordered list of probes.
+
+    An *empty* fanout -- the default wiring of a :class:`System` nobody
+    instrumented -- reports ``active = False`` (an instance attribute
+    shadowing the subclass default), so the hot-path gates skip hook
+    calls entirely until the first consumer is attached.
+    """
 
     def __init__(self, probes: Iterable[Probe] = ()):
         self.probes: List[Probe] = list(probes)
+        self.active = bool(self.probes)
 
     def add(self, probe: Probe) -> None:
         self.probes.append(probe)
+        self.active = True
 
     def remove(self, probe: Probe) -> None:
         self.probes.remove(probe)
+        self.active = bool(self.probes)
 
     def on_nr_running(self, now: int, cpu: int, nr_running: int) -> None:
         for probe in self.probes:
