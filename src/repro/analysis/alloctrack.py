@@ -1,0 +1,378 @@
+"""Runtime allocation tracker: declared alloc classes vs observed churn.
+
+The static half (:mod:`repro.analysis.costmodel` + the
+``hot-path-alloc`` rule) certifies each hot root's allocation class from
+syntax.  Like PR 4's coherence sanitizer and PR 7's effect checker, the
+certification is only as good as the analysis -- an allocation the AST
+scan cannot see (a C-level temporary, an unresolved helper) would
+silently hollow out an ``alloc-free`` claim.  This module is the dynamic
+cross-check, used by ``repro demo <bug> --alloc-check`` and the CI soak.
+
+Mechanics
+---------
+
+An :class:`AllocCheckSession`
+
+* resolves the :data:`~repro.analysis.effects.HOT_ROOTS` over the
+  installed tree (the same :class:`~repro.analysis.effects.EffectEngine`
+  the lint rules build) and indexes each root function by
+  ``(resolved filename, first line)`` -- def line and decorator lines,
+  matching every placement of ``co_firstlineno``;
+* installs a ``sys.setprofile`` hook and ``tracemalloc`` (1 frame of
+  traceback: we attribute by *window*, not by stack) and opens a
+  measurement window for each root frame on entry;
+* accounts **exclusively**: when one monitored root calls another, the
+  outer window's high-water mark so far is folded into an accumulator,
+  the peak counter is reset for the inner window, and on inner return
+  the outer baseline is rebased by the inner window's *retained* bytes
+  -- so churn is billed to exactly one root;
+* counts an **allocation event** against a window when its exclusive
+  high-water delta reaches :data:`EVENT_THRESHOLD_BYTES`.  The 96-byte
+  floor deliberately ignores what the static model also exempts:
+  freelist-served boxed numbers, small result tuples, and the ~48-byte
+  tuple iterators every ``for`` loop over a cached tuple creates.
+
+Verdicts
+--------
+
+Only the ``alloc-free`` tier is *enforced*: a single event in any window
+of a root declared ``alloc-free`` is an :class:`AllocDivergence`.  For
+``amortized`` roots the per-call event rate is reported but not gated --
+hit rates are workload-dependent by design (under the vectorized mirror,
+``RunQueue.load`` is only ever *invoked* on staleness, so every observed
+call allocates even though the steady state is hit-dominated), so a
+rate-based gate would encode the workload, not the code.  The static
+rule gates those tiers instead.
+
+The profile hook allocates a little itself (the traced-memory tuple,
+stack mutation).  Both window transitions therefore end with
+``tracemalloc.reset_peak()`` as their *last* action, so hook-side churn
+never lands inside a measured window.
+
+Self-noise calibration
+----------------------
+
+One hook-side cost cannot be reset away: every *nested* call inside an
+open window re-enters the Python profile hook, which materializes the
+hook's and the callee's frame objects before any line of the hook runs.
+A perfectly alloc-free root that makes one nested call therefore reads
+~320-380 peak bytes -- above any useful threshold.  Because the window
+metric is a high-water mark and those frames are freed as each nested
+call returns, the noise *saturates* with call depth rather than growing
+with call count.  ``install()`` therefore calibrates a per-window
+**noise floor**: a known alloc-free probe (tuple iteration plus nested
+calls -- the same shape as a real alloc-free hot root) is driven
+through the real windowed hook path and the worst observed window is
+subtracted from every subsequent window before thresholding (floored
+at zero).  Deeper call chains than the probe's can carry residual
+noise, but alloc-free roots are shallow by construction -- and the
+deeper, busier roots belong to tiers where event rates are reported,
+not gated.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import FrameType
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.effects import HOT_ROOTS, EffectEngine, root_function
+
+#: Exclusive high-water delta (bytes) below which a window's churn is
+#: ignored: freelist boxes, small tuples, and tuple iterators live here.
+EVENT_THRESHOLD_BYTES = 96
+
+
+class AllocDivergence(RuntimeError):
+    """A declared alloc-free hot root allocated at runtime."""
+
+
+_CALIB_TUPLE = (1, 2, 3, 4)
+
+
+def _calib_nested(x: int) -> int:
+    return x + 1
+
+
+def _calib_root() -> int:
+    # Alloc-free by construction: module-level callees (no closure
+    # objects), small-int arithmetic, iteration over a cached tuple --
+    # the same shape as a real alloc-free hot root.  Every byte the
+    # tracer bills to this function's window is hook self-noise.
+    total = 0
+    for v in _CALIB_TUPLE:
+        total = _calib_nested(total + v)
+    return total
+
+
+@dataclass
+class RootStats:
+    """Observed allocation behavior of one hot root."""
+
+    label: str
+    declared: str
+    calls: int = 0
+    #: Windows whose exclusive high-water delta reached the threshold.
+    events: int = 0
+    max_bytes: int = 0
+    #: bytes high-water of the worst window, summed across all windows.
+    total_bytes: int = 0
+    lines: List[int] = field(default_factory=list)
+
+    @property
+    def event_rate(self) -> float:
+        return self.events / self.calls if self.calls else 0.0
+
+
+class AllocCheckSession:
+    """Track allocations inside hot-root frames; gate alloc-free roots.
+
+    Use as a context manager around the code to soak::
+
+        session = AllocCheckSession()
+        with session:
+            scenario.run()
+        print(session.summary())
+        session.check()   # raises AllocDivergence on any divergence
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EffectEngine] = None,
+        declared: Optional[Dict[str, str]] = None,
+        threshold: int = EVENT_THRESHOLD_BYTES,
+    ) -> None:
+        from repro.analysis.effectcheck import installed_files
+        from repro.sched.allocdecl import DECLARED_ALLOC
+
+        self.engine = engine if engine is not None else EffectEngine(
+            installed_files()
+        )
+        self.declared: Dict[str, str] = (
+            dict(declared) if declared is not None else dict(DECLARED_ALLOC)
+        )
+        self.threshold = threshold
+        self.stats: Dict[str, RootStats] = {}
+        #: ``(resolved filename, first line)`` -> root label.
+        self._index: Dict[Tuple[str, int], str] = {}
+        for label in sorted(HOT_ROOTS):
+            cls, name = HOT_ROOTS[label]
+            fn = root_function(self.engine, cls, name)
+            if fn is None:
+                continue
+            node = fn.node
+            path = str(Path(fn.display_path).resolve())
+            lines = [getattr(node, "lineno", 0)]
+            for deco in getattr(node, "decorator_list", ()):
+                lines.append(deco.lineno)
+            for lineno in lines:
+                self._index[(path, lineno)] = label
+            self.stats[label] = RootStats(
+                label=label,
+                declared=self.declared.get(label, "allocating"),
+            )
+        #: code object -> label (or "" for not-a-root), identity-cached
+        #: so the steady-state hook path is one dict hit.
+        self._code_cache: Dict[Any, str] = {}
+        #: Open windows: [frame, label, base_current, accumulated_peak].
+        self._stack: List[List[Any]] = []
+        self._prev_profile: Optional[Callable[..., Any]] = None
+        self._started_tracemalloc = False
+        self._installed = False
+        #: Calibrated per-window hook self-noise (bytes), set by
+        #: :meth:`install`; zero until calibrated.
+        self.noise_floor = 0
+        #: Raw window deltas collected only during calibration;
+        #: ``None`` in the steady state.
+        self._calib_samples: Optional[List[int]] = None
+
+    # -- the profile hook --------------------------------------------------
+
+    def _label_of(self, code: Any) -> str:
+        label = self._code_cache.get(code)
+        if label is None:
+            try:
+                path = str(Path(code.co_filename).resolve())
+            except OSError:
+                path = code.co_filename
+            label = self._index.get((path, code.co_firstlineno), "")
+            self._code_cache[code] = label
+        return label
+
+    def _profile(self, frame: FrameType, event: str, arg: Any) -> None:
+        if event == "call":
+            label = self._label_of(frame.f_code)
+            if not label:
+                return
+            current, peak = tracemalloc.get_traced_memory()
+            stack = self._stack
+            if stack:
+                outer = stack[-1]
+                delta = peak - outer[2]
+                if delta > outer[3]:
+                    outer[3] = delta
+            stack.append([frame, label, current, 0])
+            tracemalloc.reset_peak()
+            return
+        if event != "return":
+            return
+        stack = self._stack
+        if not stack:
+            return
+        # The common case: the returning frame owns the top window.
+        # Exception unwinds can skip intermediate returns; drop any
+        # orphaned inner windows above the match unjudged.
+        top = len(stack) - 1
+        while top >= 0 and stack[top][0] is not frame:
+            top -= 1
+        if top < 0:
+            return
+        del stack[top + 1:]
+        entry = stack.pop()
+        current, peak = tracemalloc.get_traced_memory()
+        base = entry[2]
+        delta = peak - base
+        if entry[3] > delta:
+            delta = entry[3]
+        # Bill the window only for what the *workload* allocated: the
+        # hook + callee frames materialized by nested calls peaked
+        # inside the window too, up to the calibrated floor.
+        if self._calib_samples is not None and entry[1] == "__calib__":
+            self._calib_samples.append(delta)
+        delta -= self.noise_floor
+        if delta < 0:
+            delta = 0
+        stats = self.stats[entry[1]]
+        stats.calls += 1
+        if delta >= self.threshold:
+            stats.events += 1
+            stats.total_bytes += delta
+            if delta > stats.max_bytes:
+                stats.max_bytes = delta
+                stats.lines = [frame.f_lineno]
+        if stack:
+            # Bytes the inner window retained shift the outer baseline
+            # up, so the outer root is not billed for them.
+            retained = current - base
+            if retained > 0:
+                stack[-1][2] += retained
+        tracemalloc.reset_peak()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> None:
+        """Start tracemalloc and the profile hook (idempotent)."""
+        if self._installed:
+            return
+        if not tracemalloc.is_tracing():
+            tracemalloc.start(1)
+            self._started_tracemalloc = True
+        self._prev_profile = sys.getprofile()
+        sys.setprofile(self._profile)
+        self._installed = True
+        self.noise_floor = self._calibrate()
+
+    def _calibrate(self) -> int:
+        """Measure the hook's own per-window allocation noise.
+
+        End-to-end: the alloc-free probe is registered as a synthetic
+        root, driven through the *real* windowed hook path, and the
+        worst raw window becomes the floor.  Taking the max leans the
+        right way: under-subtracting would leave residual self-noise
+        that a 100% event rate on an alloc-free root would then
+        misreport as a workload divergence, while over-subtracting only
+        raises the (already deliberate) small-allocation blind spot.
+        """
+        code = _calib_root.__code__
+        self._code_cache[code] = "__calib__"
+        self.stats["__calib__"] = RootStats(
+            label="__calib__", declared="allocating"
+        )
+        saved_floor = self.noise_floor
+        self.noise_floor = 0
+        self._calib_samples = []
+        try:
+            for _ in range(3):  # warm code caches, frames and freelists
+                _calib_root()
+            self._calib_samples.clear()
+            for _ in range(9):
+                _calib_root()
+            samples = list(self._calib_samples)
+        finally:
+            self._calib_samples = None
+            self.noise_floor = saved_floor
+            del self.stats["__calib__"]
+            self._code_cache[code] = ""
+        return max(samples) if samples else 0
+
+    def uninstall(self) -> None:
+        """Restore the previous profile hook and tracemalloc state."""
+        if not self._installed:
+            return
+        sys.setprofile(self._prev_profile)
+        self._prev_profile = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        self._stack.clear()
+        self._installed = False
+
+    def __enter__(self) -> "AllocCheckSession":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+    # -- verdicts ----------------------------------------------------------
+
+    def divergences(self) -> List[str]:
+        out: List[str] = []
+        for label in sorted(self.stats):
+            stats = self.stats[label]
+            if stats.declared != "alloc-free" or stats.events == 0:
+                continue
+            at = (
+                f" (last worst window returned at line {stats.lines[0]})"
+                if stats.lines else ""
+            )
+            out.append(
+                f"hot root [{label}] is declared alloc-free but "
+                f"allocated in {stats.events}/{stats.calls} calls "
+                f"(worst window {stats.max_bytes} bytes){at}"
+            )
+        return out
+
+    def summary(self) -> str:
+        observed = [s for s in self.stats.values() if s.calls]
+        lines = [
+            f"alloc-check: {len(self.stats)} hot roots indexed, "
+            f"{len(observed)} observed, threshold "
+            f"{self.threshold} bytes, hook noise floor "
+            f"{self.noise_floor} bytes/window, "
+            f"{len(self.divergences())} divergences"
+        ]
+        for label in sorted(self.stats):
+            stats = self.stats[label]
+            if not stats.calls:
+                continue
+            lines.append(
+                f"  [{label}] declared {stats.declared}: "
+                f"{stats.events}/{stats.calls} allocating calls "
+                f"({stats.event_rate:.1%}), worst window "
+                f"{stats.max_bytes} bytes"
+            )
+        return "\n".join(lines)
+
+    def check(self) -> None:
+        """Raise :class:`AllocDivergence` on any alloc-free breach."""
+        problems = self.divergences()
+        if not problems:
+            return
+        raise AllocDivergence(
+            "declared allocation classes diverge from observed "
+            "behavior:\n  " + "\n  ".join(problems)
+        )

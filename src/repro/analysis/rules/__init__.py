@@ -11,6 +11,7 @@ from typing import List
 
 from repro.analysis.core import Rule
 from repro.analysis.rules.coherence import CoherenceRule
+from repro.analysis.rules.cost import HotPathCostRule
 from repro.analysis.rules.determinism import (
     SetIterationRule,
     UnseededRandomRule,
@@ -37,6 +38,7 @@ def default_rules() -> List[Rule]:
         CoherenceRule(),
         TaintRule(),
         PureHotPathRule(),
+        HotPathCostRule(),
         TracepointConsistencyRule(),
         OrchestratorForkSafetyRule(),
         SloRegistryRule(),
@@ -50,10 +52,21 @@ def split_rules(rules: List[Rule]) -> "tuple[List[Rule], List[Rule]]":
 
     Per-file rules are stateless across files and may run in worker
     shards; cross-file rules accumulate whole-program state and must see
-    every file in one process.
+    every file in one process.  A rule counts as cross-file when it
+    says so (``cross_file = True``) *or* when its class overrides
+    :meth:`Rule.finalize`: finalize-time findings depend on every file
+    the instance visited, so running such a rule inside a worker shard
+    would emit per-shard results that vary with the shard split.  The
+    attribute alone used to decide this, which silently sharded any
+    finalize-carrying rule that forgot to set it -- ``-jN`` output then
+    differed from ``-j1``.
     """
-    per_file = [r for r in rules if not r.cross_file]
-    cross = [r for r in rules if r.cross_file]
+    per_file = [
+        r for r in rules
+        if not r.cross_file
+        and type(r).finalize is Rule.finalize
+    ]
+    cross = [r for r in rules if r not in per_file]
     return per_file, cross
 
 
@@ -65,6 +78,7 @@ __all__ = [
     "WallClockRule",
     "SetIterationRule",
     "FeatureFlagRule",
+    "HotPathCostRule",
     "LayeringRule",
     "LoadBypassRule",
     "OrchestratorForkSafetyRule",

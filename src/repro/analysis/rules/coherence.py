@@ -86,6 +86,18 @@ ACCESSORS: Dict[str, Tuple[Optional[str], str]] = {
 _CONTRACT_CLASSES = frozenset(cls for cls, _attr in CONTRACT)
 _CONTRACT_FIELDS = frozenset(attr for _cls, attr in CONTRACT)
 
+#: Counter -> VecState notification(s) that must accompany a bump in any
+#: class wired to the vectorized mirror (it holds a ``self.vec``
+#: reference).  The scalar epoch bump invalidates the scalar memos; the
+#: columnar mirror batches its invalidation through these calls, so a
+#: bump without its partner is exactly the wiring bug PR 8 fixed by
+#: hand: scalar reads stay fresh while the vec arrays serve stale rows.
+VEC_PAIRING: Dict[str, FrozenSet[str]] = {
+    "mutations": frozenset({"mark_dirty"}),
+    "load_epoch": frozenset({"mark_dirty"}),
+    "idle_epoch": frozenset({"mark_idle_change", "on_topology_change"}),
+}
+
 #: The runtime sanitizer cross-checks cached values against recomputes;
 #: its reads verify the memo rather than feed it, so the dependency
 #: derivation must not follow calls into it (otherwise every check it
@@ -260,6 +272,8 @@ class CoherenceRule(Rule):
         emitted: Set[Tuple[str, int, str, str]] = set()
         for finding in self._check_writes(project, emitted):
             yield finding
+        for finding in self._check_vec_pairing(project):
+            yield finding
         for finding in self._check_drift(project):
             yield finding
 
@@ -305,6 +319,86 @@ class CoherenceRule(Rule):
                     "counter(s) or suppress with "
                     "'# repro: noqa[coherence-unbumped-write]' if the "
                     "mutation provably preserves every cached aggregate",
+                )
+
+    # -- pass 1b: vec-mirror pairing --------------------------------------
+
+    def _vec_classes(self, project: _Project) -> FrozenSet[str]:
+        """Bare names of classes wired to the vectorized mirror: their
+        body references ``self.vec`` (the field is assigned ``None`` at
+        init and rebound by the scheduler, so it carries no annotation
+        the symbol table could type -- presence of the reference *is*
+        the wiring)."""
+        wired: Set[str] = set()
+        for qual in sorted(project.table.classes):
+            info = project.table.classes[qual]
+            for sub in ast.walk(info.node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "vec"
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    wired.add(info.name)
+                    break
+        return frozenset(wired)
+
+    def _vec_notifications(self, fn: FunctionInfo) -> FrozenSet[str]:
+        """VecState notification methods this function calls on a
+        ``vec`` receiver (``self.vec.mark_dirty(...)``, an alias bound
+        from it, or any ``*.vec.`` chain)."""
+        names: Set[str] = set()
+        for sub in ast.walk(fn.node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+            ):
+                continue
+            receiver = sub.func.value
+            via_vec = (
+                isinstance(receiver, ast.Attribute)
+                and receiver.attr == "vec"
+            ) or (
+                isinstance(receiver, ast.Name) and receiver.id == "vec"
+            )
+            if via_vec:
+                names.add(sub.func.attr)
+        return frozenset(names)
+
+    def _check_vec_pairing(self, project: _Project) -> Iterator[Finding]:
+        """Every epoch/mutation bump in a vec-wired class must have the
+        matching VecState notification somewhere in the same function
+        (the bump cluster and its notification are adjacent by
+        convention, but only presence is checked: the scalar bumps and
+        the batched ``mark_dirty`` legitimately interleave)."""
+        wired = self._vec_classes(project)
+        if not wired:
+            return  # tree without the vec mirror (fixtures)
+        for summary in self._sorted_summaries(project):
+            fn = summary.fn
+            if fn.cls is None or fn.cls not in wired or fn.is_init:
+                continue
+            if not summary.bumps:
+                continue
+            notified = self._vec_notifications(fn)
+            for counter, line in summary.bumps:
+                required = VEC_PAIRING.get(counter)
+                if required is None or required & notified:
+                    continue
+                options = " or ".join(
+                    f"vec.{name}(...)" for name in sorted(required)
+                )
+                yield self._finding(
+                    "coherence-unbumped-write",
+                    fn.display_path,
+                    line,
+                    f"{fn.qualname} bumps {counter} but never notifies "
+                    f"the vectorized mirror ({options}); the scalar "
+                    "memos will refresh while the vec arrays serve "
+                    "stale rows -- pair the bump with the notification "
+                    "(guarded by 'if self.vec is not None') or suppress "
+                    "with '# repro: noqa[coherence-unbumped-write]' if "
+                    "this class is provably never wired to a VecState",
                 )
 
     # -- pass 2: dependency drift -----------------------------------------

@@ -13,12 +13,15 @@
     python -m repro overhead [--threads 512]
     python -m repro demo <group-imbalance|group-construction|
                           overload-on-wakeup|missing-domains>
+                         [--sanitize] [--effect-check] [--alloc-check]
     python -m repro trace <bug> [--variant buggy|fixed] [--out trace.json]
     python -m repro metrics <bug> [--variant buggy|fixed]
     python -m repro report [--quick] [-j N] [--no-cache] [--cache-dir DIR]
                            [--utilization-out FILE] [--digests-out FILE]
     python -m repro lint [paths ...] [--format json|text|sarif]
                          [--sarif FILE] [--baseline FILE]
+                         [--effects-report FILE] [--cost-report FILE]
+                         [--write-cost-baseline]
     python -m repro bench [--quick] [--compare] [--only NAME] [-j N]
                           [--variant baseline|fast|vec|vec-fallback]
                           [--out BENCH_sim.json] [--check-digests [FILE]]
@@ -136,12 +139,29 @@ def _cmd_demo(args) -> int:
     if args.sanitize:
         transform = lambda f: f.with_sanitizer()  # noqa: E731
 
+    alloc_session = None
+    if args.alloc_check:
+        from repro.analysis.alloctrack import AllocCheckSession
+
+        # The demos run the scalar mainline by default; the allocation
+        # declarations cover the vectorized mirror's roots too, so the
+        # checked run enables it (digest-identical to the scalar run by
+        # the bench cross-variant gate).
+        prev = transform
+        if prev is None:
+            transform = lambda f: f.with_vectorized()  # noqa: E731
+        else:
+            transform = lambda f: prev(f).with_vectorized()  # noqa: E731
+        alloc_session = AllocCheckSession()
+
     effect_session = None
     if args.effect_check:
         from repro.analysis.effectcheck import EffectCheckSession
 
         effect_session = EffectCheckSession()
         effect_session.install()
+    if alloc_session is not None:
+        alloc_session.install()
     try:
         for variant in ("buggy", "fixed"):
             scenario = build_bug_scenario(
@@ -159,11 +179,16 @@ def _cmd_demo(args) -> int:
             print(f"  {scenario.checker.summary()}")
             print()
     finally:
+        if alloc_session is not None:
+            alloc_session.uninstall()
         if effect_session is not None:
             effect_session.uninstall()
     if effect_session is not None:
         print(effect_session.summary())
         effect_session.check()  # raises EffectDivergence on any divergence
+    if alloc_session is not None:
+        print(alloc_session.summary())
+        alloc_session.check()  # raises AllocDivergence on any divergence
     return 0
 
 
@@ -288,6 +313,8 @@ def _cmd_lint(args) -> int:
         sarif_path=args.sarif,
         jobs=args.jobs,
         effects_report=args.effects_report,
+        cost_report=args.cost_report,
+        write_cost_baseline=args.write_cost_baseline,
     )
 
 
@@ -648,6 +675,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the vectorization-safety report (the pure-hot-path "
         "rule's effect classification of the fast-path closure) to FILE",
     )
+    p.add_argument(
+        "--cost-report", default=None, metavar="FILE",
+        help="write the hot-path cost & allocation report (per-root "
+        "cost expressions, allocation sites with provenance, ranked "
+        "scalar-residue table) to FILE",
+    )
+    p.add_argument(
+        "--write-cost-baseline", action="store_true",
+        help="rewrite COST_baseline.json from the fresh analysis "
+        "(committed profile weights are carried over); use when a "
+        "complexity change is intentional and justified in the PR",
+    )
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
@@ -795,6 +834,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with the effect sanitizer on: every attribute write to "
         "scheduler-state objects is cross-checked against the static "
         "effect summaries; any undeclared write raises",
+    )
+    p.add_argument(
+        "--alloc-check", action="store_true",
+        help="run with the allocation tracker on (vectorized features): "
+        "observed allocations inside hot-root frames are cross-checked "
+        "against each root's declared class in repro.sched.allocdecl; "
+        "any allocation in a declared alloc-free root raises",
     )
     p.set_defaults(func=_cmd_demo)
 

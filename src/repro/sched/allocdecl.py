@@ -1,0 +1,83 @@
+"""Declared allocation classes for the hot roots.
+
+Each :data:`~repro.analysis.effects.HOT_ROOTS` label commits to a tier
+on the ``alloc-free`` < ``amortized`` < ``allocating`` lattice (see
+:mod:`repro.analysis.costmodel`):
+
+``alloc-free``
+    No Python-level allocation on any reachable path.  Certified
+    statically by the ``hot-path-alloc`` rule *and* enforced at runtime
+    by ``repro demo <bug> --alloc-check`` -- a single tracked allocation
+    event inside the root's frames fails the soak.
+``amortized``
+    Allocations happen only on memo/epoch miss paths; the steady state
+    (hit path) is allocation-free.  Certified statically; the runtime
+    tracker reports hit/miss allocation counts for these roots but does
+    not gate on them, because hit rates are workload-dependent (e.g.
+    ``RunQueue.load`` under the vectorized mirror is *only* invoked on
+    staleness, so every observed call allocates by design).
+``allocating``
+    Per-call allocation is part of the contract (fold scratch state,
+    backend array temporaries).  Listed so a future PR that tightens
+    one of these shows up as an improvement in the committed baseline
+    rather than silent drift.
+
+The static analyzer may infer a *weaker* class than declared for a few
+documented roots (see ``CONSERVATIVE``): declarations are allowed to be
+conservative, never optimistic.  A root whose declaration is *stronger*
+than the inference is a ``hot-path-alloc`` error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: label -> declared allocation class, one entry per hot root.
+DECLARED_ALLOC: Dict[str, str] = {
+    # Per-cpu load memo: O(1) hit path reading the incremental mirror;
+    # the miss path re-folds the queued set (a genexp).
+    "runqueue-load": "amortized",
+    # Incremental total-weight mirror, same shape as load.
+    "runqueue-total-weight": "amortized",
+    # Per-pass per-cpu (load, nr) sample memo.
+    "balance-cpu-sample": "amortized",
+    # Per-pass per-group stats memo keyed by epoch signature.
+    "balance-group-stats": "amortized",
+    # Designated-cpu election memo over group stats.
+    "balance-designated": "amortized",
+    # The scalar fold materializes a fresh GroupStats each miss; it is
+    # only ever invoked *from* the memoized paths above.
+    "group-stats-fold": "allocating",
+    # Pure arithmetic over a cached tuple -- the strongest tier, and
+    # the runtime-gated one.
+    "designated-election": "alloc-free",
+    # ``return self._live``: a field read.
+    "event-pending": "alloc-free",
+    # Dirty-set drain: allocates only for dirtied cpus (miss work).
+    "vec-sync": "amortized",
+    # Columnar group stats behind the epoch signature check.
+    "vec-group-stats": "amortized",
+    # The columnar fold builds its stats row per entry by design.
+    "vec-fold": "allocating",
+    # Busiest-group scan over cached folds; the singleton-stats bridge
+    # on the pair path is inline-suppressed churn (see vecstate.py).
+    "vec-find-busiest": "amortized",
+    # Designated memo over the columnar mirror.
+    "vec-designated": "amortized",
+    # Backend kernels: array temporaries are per-call by design -- and
+    # invisible to the AST scan (numpy allocates in C), so these two
+    # are pinned conservatively rather than inferred.
+    "vec-kernel-numpy": "allocating",
+    "vec-kernel-python": "allocating",
+}
+
+#: Roots whose declaration is deliberately *weaker* than what the AST
+#: scan can prove, because the real allocations happen below Python
+#: syntax (numpy array temporaries register with tracemalloc but are
+#: not source-level sites; the python kernel's tuple churn depends on
+#: freelist state).  The baseline drift test allows declared >= inferred
+#: only for these.
+CONSERVATIVE: FrozenSet[str] = frozenset({
+    "vec-kernel-numpy",
+    "vec-kernel-python",
+})

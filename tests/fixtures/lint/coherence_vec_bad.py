@@ -1,0 +1,33 @@
+"""Fixture: epoch bumps in a vec-wired class missing mirror pairing."""
+
+
+class Epoch:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class WiredQueue:
+    """Holds a ``self.vec`` mirror reference, so every bump must pair."""
+
+    def __init__(self):
+        self.cpu_id = 0
+        self.mutations = 0
+        self.idle_epoch = Epoch()
+        self.vec = None
+
+    def touch(self):
+        # BAD: bumps the mutation counter but never notifies the mirror.
+        self.mutations += 1
+
+    def go_idle(self):
+        # BAD: idle transition without mark_idle_change/on_topology_change.
+        self.idle_epoch.bump()
+
+    def touch_paired(self):
+        # OK: the bump is paired with the mirror notification.
+        self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)

@@ -1,0 +1,43 @@
+"""Fixture twin: every bump in a vec-wired class pairs with the mirror."""
+
+
+class Epoch:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class WiredQueue:
+    def __init__(self):
+        self.cpu_id = 0
+        self.mutations = 0
+        self.idle_epoch = Epoch()
+        self.vec = None
+
+    def touch(self):
+        self.mutations += 1
+        if self.vec is not None:
+            self.vec.mark_dirty(self.cpu_id)
+
+    def go_idle(self):
+        self.idle_epoch.bump()
+        if self.vec is not None:
+            self.vec.mark_idle_change(self.cpu_id)
+
+    def reconfigure(self):
+        # Topology-level invalidation also satisfies the idle pairing.
+        self.idle_epoch.bump()
+        if self.vec is not None:
+            self.vec.on_topology_change()
+
+
+class UnwiredPass:
+    """No ``self.vec`` anywhere: bumps need no mirror pairing."""
+
+    def __init__(self):
+        self.mutations = 0
+
+    def touch(self):
+        self.mutations += 1

@@ -1,0 +1,23 @@
+"""Fixture: a hot root declared amortized with per-call allocation.
+
+``RunQueue.load`` resolves the ``runqueue-load`` hot root, whose shipped
+declaration is ``amortized``: allocation is allowed only behind the memo
+guard.  Here the miss-path list is built *before* the hit return, so it
+runs on every call -- the certification breach the rule must flag.  The
+cost stays O(1)-shaped so only ``hot-path-alloc`` fires.
+"""
+
+
+class RunQueue:
+    def __init__(self):
+        self._cached_load = None
+        self._weight_a = 1
+        self._weight_b = 2
+
+    def load(self, now):
+        # BAD: per-call allocation ahead of the memo guard.
+        box = [self._weight_a, self._weight_b]
+        if self._cached_load is not None:
+            return self._cached_load
+        self._cached_load = box[0] + box[1]
+        return self._cached_load

@@ -1,0 +1,16 @@
+"""Fixture twin: the hot root allocates only behind its memo guard."""
+
+
+class RunQueue:
+    def __init__(self):
+        self._cached_load = None
+        self._weight_a = 1
+        self._weight_b = 2
+
+    def load(self, now):
+        if self._cached_load is not None:
+            return self._cached_load
+        # OK: the miss path may allocate; the steady state is the hit.
+        box = [self._weight_a, self._weight_b]
+        self._cached_load = box[0] + box[1]
+        return self._cached_load

@@ -1,0 +1,21 @@
+"""Fixture: a hot root whose cost grew beyond its committed baseline.
+
+The fixture baseline (``cost_fixture_baseline.json``) commits
+``runqueue-load`` to O(1) in both the worst and the steady case; this
+tree's version scans a collection on every call -- including the hit
+path -- so both expressions grow a linear term the baseline does not
+dominate.
+"""
+
+
+class RunQueue:
+    def __init__(self):
+        self._items = [1, 2, 3]
+        self._cached_load = 0
+
+    def load(self, now):
+        # BAD: an O(n) scan sneaked into the committed O(1) path.
+        total = 0
+        for item in self._items:
+            total += item
+        return total + self._cached_load

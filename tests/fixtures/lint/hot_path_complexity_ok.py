@@ -1,0 +1,9 @@
+"""Fixture twin: the hot root stays within its committed O(1) bound."""
+
+
+class RunQueue:
+    def __init__(self):
+        self._cached_load = 0
+
+    def load(self, now):
+        return self._cached_load + 1

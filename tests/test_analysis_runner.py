@@ -196,3 +196,113 @@ def test_effects_report_requires_certifiable_files(tmp_path):
     )
     assert code == 2
     assert any("no vectorization-safety report" in line for line in lines)
+
+
+def test_split_rules_keeps_finalizers_in_parent():
+    """Any rule with a finalize() override must run in the parent process.
+
+    The original partition only looked at ``cross_file``, so a per-file
+    rule that accumulates state in visit() and reports in finalize()
+    would have emitted per-shard findings under -jN -- a different
+    answer than -j1.  The partition now keys on behavior, not the flag.
+    """
+    from repro.analysis.core import Rule
+    from repro.analysis.rules import default_rules, split_rules
+
+    rules = default_rules()
+    per_file, cross = split_rules(rules)
+    assert len(per_file) + len(cross) == len(rules)
+    for rule in per_file:
+        assert not rule.cross_file
+        assert type(rule).finalize is Rule.finalize, type(rule).__name__
+    names = {type(r).__name__ for r in cross}
+    # The interprocedural passes all finalize in the parent.
+    assert {"CoherenceRule", "TaintRule", "PureHotPathRule",
+            "HotPathCostRule"} <= names
+
+
+def test_cost_report_written():
+    report_path = REPO / "cost-report.test.json"
+    try:
+        lines, out = _capture()
+        code = run_lint(
+            paths=[str(SRC / "repro")],
+            cost_report=str(report_path),
+            out=out,
+        )
+        assert code == 0, "\n".join(lines)
+        report = json.loads(report_path.read_text())
+        assert report["version"] == 1
+        assert report["summary"]["roots"] > 0
+        assert report["scalar_residue"][0]["rank"] == 1
+    finally:
+        if report_path.exists():
+            report_path.unlink()
+
+
+def test_cost_report_requires_certifiable_files(tmp_path):
+    target = tmp_path / "ok.py"
+    target.write_text(CLEAN_SOURCE)
+    lines, out = _capture()
+    code = run_lint(
+        paths=[str(target)],
+        cost_report=str(tmp_path / "report.json"),
+        out=out,
+    )
+    assert code == 2
+    assert any("no cost report" in line for line in lines)
+
+
+def test_parallel_reports_byte_identical(tmp_path):
+    """-j2 must reproduce the serial cost/effects artifacts exactly.
+
+    The cross-file finalizers run once in the parent either way; this
+    pins the contract that sharding changes scheduling, never results.
+    """
+    targets = [str(SRC / "repro")]
+    serial_cost = tmp_path / "cost-serial.json"
+    serial_fx = tmp_path / "fx-serial.json"
+    parallel_cost = tmp_path / "cost-parallel.json"
+    parallel_fx = tmp_path / "fx-parallel.json"
+
+    serial_lines, serial_out = _capture()
+    serial_code = run_lint(
+        paths=targets,
+        cost_report=str(serial_cost),
+        effects_report=str(serial_fx),
+        out=serial_out,
+    )
+    parallel_lines, parallel_out = _capture()
+    parallel_code = run_lint(
+        paths=targets,
+        jobs=2,
+        cost_report=str(parallel_cost),
+        effects_report=str(parallel_fx),
+        out=parallel_out,
+    )
+    assert parallel_code == serial_code == 0
+    assert parallel_lines == serial_lines
+    assert parallel_cost.read_bytes() == serial_cost.read_bytes()
+    assert parallel_fx.read_bytes() == serial_fx.read_bytes()
+
+
+def test_self_lint_suppressions_are_exactly_the_declared_ones():
+    """The gate stays honest: every inline noqa in the tree is accounted.
+
+    Intentional churn must be suppressed at the site with a
+    justification; this test pins the full list so a new suppression
+    (or a rule silently going blind) shows up as a diff here.
+    """
+    lines, out = _capture()
+    code = run_lint(paths=[str(SRC / "repro")], fmt="json", out=out)
+    assert code == 0
+    report = json.loads("\n".join(lines))
+    assert report["findings"] == []
+    suppressed = sorted(
+        (f["rule"], Path(f["path"]).name) for f in report["noqa"]
+    )
+    assert suppressed == [
+        ("coherence-unbumped-write", "runqueue.py"),
+        ("coherence-unbumped-write", "runqueue.py"),
+        ("hot-path-alloc", "vecstate.py"),
+    ]
