@@ -636,6 +636,18 @@ HOT_ROOTS: Dict[str, Tuple[Optional[str], str]] = {
     "vec-designated": ("VecState", "designated_for"),
     "vec-kernel-numpy": ("_NumpyOps", "fold_group"),
     "vec-kernel-python": ("_PythonOps", "fold_group"),
+    # The tick/pick/enqueue hot-loop kernels: the batched tick body
+    # (both backends), the pick-index argmin kernels behind
+    # RunQueue.pick_next's flat (vruntime, tid) index, and the
+    # periodic/NOHZ balance-driver reductions over the per-CPU
+    # next-balance deadline array.
+    "vec-tick-kernel-numpy": ("_NumpyOps", "tick_batch"),
+    "vec-tick-kernel-python": ("_PythonOps", "tick_batch"),
+    "vec-pick-argmin-numpy": ("_NumpyOps", "argmin_pairs"),
+    "vec-pick-argmin-python": ("_PythonOps", "argmin_pairs"),
+    "vec-pick-index": ("PickIndex", "peek"),
+    "vec-balance-gate": ("VecState", "gated"),
+    "vec-balance-due": ("VecState", "balance_due"),
 }
 
 #: Classification lattice, weakest to strongest claim.

@@ -276,14 +276,17 @@ class HotPathCostRule(Rule):
 def build_cost_baseline(
     report: Dict[str, object],
     previous: Optional[Dict[str, object]] = None,
+    weights: Optional[Dict[str, float]] = None,
 ) -> Dict[str, object]:
     """The committable ``COST_baseline.json`` derived from a cost report.
 
     Terms and classes come from the fresh analysis; ``profile_weights``
-    (harvested separately from ``repro bench --profile`` runs) are
-    carried over from the previous baseline so re-committing a cost
-    bound never silently discards the profiling evidence behind the
-    residue ranking.
+    (harvested from ``repro bench --profile`` runs) are carried over
+    from the previous baseline so re-committing a cost bound never
+    silently discards the profiling evidence behind the residue
+    ranking.  Passing ``weights`` (a fresh harvest, ``repro lint
+    --write-cost-baseline --profile-weights``) replaces the carried
+    evidence instead.
     """
     roots_in = report.get("roots")
     assert isinstance(roots_in, dict)
@@ -302,14 +305,16 @@ def build_cost_baseline(
             "worst_terms": cost.get("worst_terms"),
             "steady_terms": cost.get("steady_terms"),
         }
-    weights: Dict[str, object] = {}
-    if previous is not None:
+    weights_out: Dict[str, object] = {}
+    if weights is not None:
+        weights_out = {k: weights[k] for k in sorted(weights)}
+    elif previous is not None:
         raw = previous.get("profile_weights")
         if isinstance(raw, dict):
-            weights = dict(raw)
+            weights_out = dict(raw)
     return {
         "version": report.get("version"),
         "domain_sizes": report.get("domain_sizes"),
-        "profile_weights": weights,
+        "profile_weights": weights_out,
         "roots": roots_out,
     }

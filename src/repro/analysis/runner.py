@@ -248,6 +248,7 @@ def run_lint(
     effects_report: Optional[str] = None,
     cost_report: Optional[str] = None,
     write_cost_baseline: bool = False,
+    profile_weights_path: Optional[str] = None,
     out: Callable[[str], None] = print,
 ) -> int:
     """Run the offline checker; returns the process exit code.
@@ -264,7 +265,9 @@ def run_lint(
     allocation analysis computed by the ``hot-path-alloc`` rule.
     ``write_cost_baseline`` rewrites ``COST_baseline.json`` from the
     fresh analysis (profile weights are carried over) -- the cost
-    analogue of ``write_baseline``.
+    analogue of ``write_baseline``; ``profile_weights_path`` names a
+    harvested ``repro bench --profile`` weights file to commit in place
+    of the carried-over weights.
     """
     targets = (
         [Path(p) for p in paths] if paths else [default_target()]
@@ -328,9 +331,24 @@ def run_lint(
             load_cost_baseline,
         )
 
+        weights = None
+        if profile_weights_path is not None:
+            try:
+                raw = json.loads(Path(profile_weights_path).read_text())
+            except (OSError, ValueError) as exc:
+                out(f"error: cannot read profile weights "
+                    f"{profile_weights_path}: {exc}")
+                return 2
+            if not isinstance(raw, dict):
+                out(f"error: {profile_weights_path}: not a "
+                    "qualname->seconds map")
+                return 2
+            weights = {str(k): float(v) for k, v in raw.items()}
+
         target = Path(DEFAULT_COST_BASELINE)
         previous = load_cost_baseline(str(target))
-        document = build_cost_baseline(cost, previous=previous)
+        document = build_cost_baseline(cost, previous=previous,
+                                       weights=weights)
         target.write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

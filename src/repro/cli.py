@@ -21,11 +21,12 @@
     python -m repro lint [paths ...] [--format json|text|sarif]
                          [--sarif FILE] [--baseline FILE]
                          [--effects-report FILE] [--cost-report FILE]
-                         [--write-cost-baseline]
+                         [--write-cost-baseline] [--profile-weights FILE]
     python -m repro bench [--quick] [--compare] [--only NAME] [-j N]
                           [--variant baseline|fast|vec|vec-fallback]
                           [--out BENCH_sim.json] [--check-digests [FILE]]
-                          [--profile]
+                          [--profile] [--cost-baseline FILE]
+                          [--trend [FILE]]
     python -m repro slo run [--registry PATH] [--scenario NAME] [--scale F]
                             [-j N] [--json FILE]
     python -m repro slo check [--baseline SLO_baseline.json]
@@ -315,6 +316,7 @@ def _cmd_lint(args) -> int:
         effects_report=args.effects_report,
         cost_report=args.cost_report,
         write_cost_baseline=args.write_cost_baseline,
+        profile_weights_path=args.profile_weights,
     )
 
 
@@ -327,6 +329,18 @@ def _cmd_bench(args) -> int:
         format_results,
         run_benchmark,
     )
+
+    if args.trend is not None:
+        from repro.perf import format_trend, load_trajectory
+
+        try:
+            trajectory = load_trajectory(args.trend)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trajectory {args.trend}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(format_trend(trajectory))
+        return 0
 
     names = args.only or benchmark_names()
     unknown = [n for n in names if n not in benchmark_names()]
@@ -369,20 +383,35 @@ def _cmd_bench(args) -> int:
         if not mismatches:
             print(f"digests match {args.check_digests}")
     if args.profile:
+        import json
         from pathlib import Path
 
-        from repro.perf import profile_benchmark
+        from repro.perf import format_profile_comparison, profile_benchmark
 
         base = Path(args.out) if args.out else Path("bench")
+        baseline_path = Path(args.cost_baseline)
+        baseline = None
+        if baseline_path.exists():
+            with baseline_path.open() as fh:
+                baseline = json.load(fh)
         for name in names:
             print(f"profiling {name} ...", file=sys.stderr)
-            text = profile_benchmark(
+            prof = profile_benchmark(
                 name, quick=args.quick, jobs=args.jobs,
                 variant=args.variant,
             )
             target = base.with_name(f"{base.stem}.profile.{name}.txt")
-            target.write_text(text)
+            target.write_text(prof.text)
             print(f"wrote profile to {target}")
+            wtarget = base.with_name(f"{base.stem}.profile.{name}.json")
+            with wtarget.open("w") as fh:
+                json.dump(prof.weights, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote profile weights to {wtarget} (commit via repro "
+                  f"lint --write-cost-baseline --profile-weights {wtarget})")
+            if baseline is not None:
+                print(f"--- {name} ({prof.variant}) ---")
+                print(format_profile_comparison(prof.weights, baseline))
     if args.out:
         append_run(args.out, results, label=args.label, jobs=args.jobs)
         print(f"appended run to {args.out}")
@@ -687,6 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(committed profile weights are carried over); use when a "
         "complexity change is intentional and justified in the PR",
     )
+    p.add_argument(
+        "--profile-weights", default=None, metavar="FILE",
+        help="with --write-cost-baseline: replace the carried-over "
+        "profile weights with the harvested qualname->tottime map FILE "
+        "(written by repro bench --profile as "
+        "<out-stem>.profile.<bench>.json)",
+    )
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
@@ -726,9 +762,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--profile", action="store_true",
-        help="rerun each benchmark under cProfile and write the top-20 "
-        "cumulative report next to --out "
-        "(<out-stem>.profile.<bench>.txt)",
+        help="rerun each benchmark under cProfile, write the top-20 "
+        "cumulative report and the harvested per-function weights next "
+        "to --out (<out-stem>.profile.<bench>.{txt,json}), and print a "
+        "per-hot-root comparison against the committed baseline weights",
+    )
+    p.add_argument(
+        "--cost-baseline", default="COST_baseline.json", metavar="FILE",
+        help="the committed cost baseline --profile compares harvested "
+        "weights against (default: COST_baseline.json)",
+    )
+    p.add_argument(
+        "--trend", nargs="?", const="BENCH_sim.json", default=None,
+        metavar="FILE",
+        help="print the per-benchmark history table (run id, variant, "
+        "wall seconds, speedup, digest_match) of a BENCH_*.json "
+        "trajectory and exit without running anything "
+        "(default FILE: BENCH_sim.json)",
     )
     p.add_argument(
         "--label", default="",

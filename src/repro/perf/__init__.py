@@ -20,9 +20,12 @@ simulation hot scope the ``det-wallclock`` lint rule protects.
 from repro.perf.bench import (
     BENCHMARKS,
     VARIANTS,
+    BenchProfile,
     BenchResult,
     ModeMetrics,
     benchmark_names,
+    format_profile_comparison,
+    harvest_profile_weights,
     profile_benchmark,
     run_benchmark,
 )
@@ -41,15 +44,19 @@ from repro.perf.store import (
     append_run,
     check_digests,
     format_results,
+    format_trend,
     load_trajectory,
 )
 
 __all__ = [
     "BENCHMARKS",
     "VARIANTS",
+    "BenchProfile",
     "BenchResult",
     "ModeMetrics",
     "benchmark_names",
+    "format_profile_comparison",
+    "harvest_profile_weights",
     "profile_benchmark",
     "run_benchmark",
     "OrchestratorRun",
@@ -64,5 +71,6 @@ __all__ = [
     "append_run",
     "check_digests",
     "format_results",
+    "format_trend",
     "load_trajectory",
 ]

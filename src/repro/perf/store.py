@@ -123,6 +123,60 @@ def check_digests(
     return mismatches
 
 
+def format_trend(data: Dict[str, object]) -> str:
+    """Render a trajectory as one aligned per-benchmark history table.
+
+    Rows are grouped by benchmark and ordered by run, so the speedup
+    (and digest stability) trend of each workload reads top to bottom:
+    run id, measured variant, wall seconds, speedup over baseline, and
+    whether the digest check passed.  ``repro bench --trend`` prints
+    this for a committed ``BENCH_*.json`` without re-running anything.
+    """
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return "(empty trajectory)"
+    names: List[str] = []
+    for run in runs:
+        for name in run.get("benchmarks", {}):
+            if name not in names:
+                names.append(name)
+    header = ("benchmark", "run", "variant", "wall(s)", "speedup",
+              "digest_match")
+    rows: List[Tuple[str, ...]] = [header]
+    for name in names:
+        first = True
+        for index, run in enumerate(runs):
+            bench = run.get("benchmarks", {}).get(name)
+            if not isinstance(bench, dict):
+                continue
+            label = run.get("label") or ""
+            run_id = f"{index}:{label}" if label else str(index)
+            if run.get("quick"):
+                run_id += " (quick)"
+            fast = bench.get("fast")
+            wall = (
+                f"{fast['wall_seconds']:.3f}"
+                if isinstance(fast, dict) and "wall_seconds" in fast
+                else "-"
+            )
+            speedup = bench.get("speedup")
+            match = bench.get("digest_match")
+            rows.append((
+                name if first else "",
+                run_id,
+                str(bench.get("variant", "fast")),
+                wall,
+                f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else "-",
+                "-" if match is None else str(bool(match)).lower(),
+            ))
+            first = False
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    )
+
+
 def format_results(results: Sequence[BenchResult]) -> str:
     """Render results as an aligned text table."""
     header = (

@@ -57,8 +57,10 @@ DECLARED_ALLOC: Dict[str, str] = {
     "vec-sync": "amortized",
     # Columnar group stats behind the epoch signature check.
     "vec-group-stats": "amortized",
-    # The columnar fold builds its stats row per entry by design.
-    "vec-fold": "allocating",
+    # The columnar fold builds its stats row per entry -- unless its
+    # generation-sum probe revalidates the stale-stamped memo in place,
+    # which allocates nothing; the row build is the probe's miss path.
+    "vec-fold": "amortized",
     # Busiest-group scan over cached folds; the singleton-stats bridge
     # on the pair path is inline-suppressed churn (see vecstate.py).
     "vec-find-busiest": "amortized",
@@ -69,6 +71,25 @@ DECLARED_ALLOC: Dict[str, str] = {
     # are pinned conservatively rather than inferred.
     "vec-kernel-numpy": "allocating",
     "vec-kernel-python": "allocating",
+    # Batched tick body: both backends return fresh (new_vr, preempt)
+    # rows per call -- the cohort's scratch is the contract.
+    "vec-tick-kernel-numpy": "allocating",
+    "vec-tick-kernel-python": "allocating",
+    # Pick-index argmin: the numpy twin stages the columns as array
+    # temporaries (in C, below the AST scan); the python twin is a pure
+    # in-place scan -- the strongest tier, runtime-gated.
+    "vec-pick-argmin-numpy": "allocating",
+    "vec-pick-argmin-python": "alloc-free",
+    # PickIndex.peek: the cached-min probe is the steady state; a probe
+    # miss rescans, and at machine width the rescan goes through the
+    # backend argmin whose temporaries are below AST visibility.
+    "vec-pick-index": "amortized",
+    # Whole-walk balance gate: two field reads.
+    "vec-balance-gate": "alloc-free",
+    # The due-CPU reduction materializes the ascending id list per call
+    # -- through the union-typed backend attribute, so the sites are
+    # invisible to the scan and the tier is pinned, not inferred.
+    "vec-balance-due": "allocating",
 }
 
 #: Roots whose declaration is deliberately *weaker* than what the AST
@@ -80,4 +101,8 @@ DECLARED_ALLOC: Dict[str, str] = {
 CONSERVATIVE: FrozenSet[str] = frozenset({
     "vec-kernel-numpy",
     "vec-kernel-python",
+    "vec-tick-kernel-numpy",
+    "vec-pick-argmin-numpy",
+    "vec-pick-index",
+    "vec-balance-due",
 })

@@ -49,6 +49,11 @@ from typing import (
 
 from repro.sched.sanitizer import verify_designated, verify_group_stats
 
+#: Gate sentinel above any reachable deadline: a CPU that currently wins
+#: no level parks its gate here and is only re-armed by a watched idle
+#: flip or a topology change (both zero the gate).
+_NEVER_DUE = 1 << 62
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.domains import SchedDomain, SchedGroup
     from repro.sched.scheduler import Scheduler
@@ -579,6 +584,22 @@ def periodic_balance(
     moved = 0
     cpu = sched.cpus[cpu_id]
     if bpass is not None and bpass.vectorized:
+        # Whole-walk gate: the mirror records, per CPU, the earliest
+        # next-balance deadline among the levels the CPU currently wins.
+        # While that sits in the future, every level below is either not
+        # due or not won -- the walk would attempt nothing, emit nothing,
+        # and stamp nothing -- so it is skipped wholesale.  Any idle
+        # flip (the only election input that moves between topology
+        # rebuilds) disarms every gate via the global flip token;
+        # ``force`` bypasses the check and leaves the gate untouched (a
+        # disarmed gate only costs one extra real walk).
+        vstate = cast("VecState", bpass)
+        if not force and vstate.gated(cpu_id, now):
+            return 0
+        # Token snapshot: this walk's own migrations flip idle states
+        # that may re-elect this very CPU; set_gate refuses the final
+        # stamp if the token moved under the walk.
+        gate_tok = vstate.gate_token()
         # Vectorized path: the per-level (domain, local group, solo
         # winner) triple never changes between topology rebuilds, so it
         # is planned once per domain generation and cached on the Cpu.
@@ -608,21 +629,32 @@ def periodic_balance(
             cpu.balance_plan_gen = builder.generation
         cpus = sched.cpus
         next_balance = cpu.next_balance_us
+        gate = _NEVER_DUE
         for domain, local, solo in plan:
-            # Interval gate first, exactly like the scalar loop below.
-            stamp = next_balance[domain.level]
-            if not force and 0 <= stamp and now < stamp:
-                continue
             if local is None:
                 continue  # no local group here: never the winner
+            # Election before the interval check (the reverse of the
+            # scalar loop): elections read only idle/online flags, are
+            # memoized, and emit nothing, so the reorder is unobservable
+            # -- and the gate needs the winner of non-due levels too.
             if solo >= 0:
                 winner = solo if cpus[solo].online else -1
             else:
                 winner = bpass.designated_for(local)
             if cpu_id != winner:
                 continue
-            next_balance[domain.level] = now + domain.balance_interval_us
+            stamp = next_balance[domain.level]
+            if not force and 0 <= stamp and now < stamp:
+                if stamp < gate:
+                    gate = stamp
+                continue
+            stamp = now + domain.balance_interval_us
+            next_balance[domain.level] = stamp
+            if stamp < gate:
+                gate = stamp
             moved += balance_domain(sched, domain, cpu_id, now, bpass)
+        if not force:
+            vstate.set_gate(cpu_id, gate, gate_tok)
         return moved
     domains = sched.domain_builder.domains_of(cpu_id)
     while len(cpu.next_balance_us) < len(domains):
@@ -709,6 +741,35 @@ def nohz_idle_balance(
     """
     sched.cpu(balancer_cpu).nohz_balancer = True
     moved = 0
+    if bpass is not None and bpass.vectorized:
+        # Due-reduction: a non-due CPU's periodic_balance would hit its
+        # gate and return 0 with no observables, so asking the mirror
+        # "which gates have expired?" in one array reduction and walking
+        # only those (in ascending id order, matching the scalar sweep)
+        # is trace-identical.  Offline/busy CPUs may appear (gates are
+        # not maintained for them) and are filtered exactly as below.
+        # One wrinkle: a walk's migrations can zero a *later* CPU's gate
+        # mid-sweep, which the lazy reference would observe on reaching
+        # that CPU -- the global gate token detects that and recomputes
+        # the due set for the ids not yet visited.
+        vstate = cast("VecState", bpass)
+        cpus = sched.cpus
+        tok = vstate.gate_token()
+        due = vstate.balance_due(now)
+        i = 0
+        while i < len(due):
+            cpu_id = due[i]
+            i += 1
+            cpu = cpus[cpu_id]
+            if not cpu.online or not cpu.is_idle:
+                continue
+            moved += periodic_balance(sched, cpu_id, now, bpass=bpass)
+            fresh = vstate.gate_token()
+            if fresh != tok:
+                tok = fresh
+                due = [c for c in vstate.balance_due(now) if c > cpu_id]
+                i = 0
+        return moved
     for cpu in sched.cpus:
         if not cpu.online or not cpu.is_idle:
             continue

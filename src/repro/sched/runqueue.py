@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.sched.load import LoadEpoch
 from repro.sched.rbtree import RBTree
-from repro.sched.sanitizer import verify_rq_load
+from repro.sched.sanitizer import CoherenceError, verify_rq_load
 from repro.sched.task import Task, TaskState
 from repro.sched.timebase import SCHED_LATENCY_US
 
@@ -77,12 +77,29 @@ class RunQueue:
         #: deliberately bump neither (the task *set* is unchanged), so the
         #: mirror's coherence contract is exactly the memo contract.
         self.vec = None
+        #: Optional array-backed pick index
+        #: (repro.sched.pickindex.PickIndex), set by the scheduler under
+        #: the same vectorized gate as ``vec``.  Mirrored at exactly the
+        #: tree's own mutation sites, so its coherence contract is the
+        #: tree's; the rbtree stays authoritative for ordered iteration
+        #: and the sanitizer cross-check.
+        self.pidx = None
         #: Memo of the last load(now) summation, keyed by
         #: (now, own mutations, divisor epoch).
         self._cached_load_now = -1
         self._cached_load_mut = -1
         self._cached_load_div = -1
         self._cached_load = 0.0
+        #: True when the last load summation found every member tracker
+        #: exactly converged to its state's target (see LoadTracker's
+        #: convergence shortcut): the summation is then a constant of
+        #: time until the task set or some member's running state
+        #: changes, and the vectorized mirror may carry the sample
+        #: across timestamps.  Cleared by the two non-bumping mutators
+        #: (``put_prev``/``requeue``) whose state flips are invisible to
+        #: the memo key; every bumping mutator forces a recompute (and
+        #: thus a re-derivation) through the key itself.
+        self._cached_load_invariant = False
         #: Incrementally-maintained mirrors of the tree + curr aggregates
         #: (task weights are fixed at construction, so integer bookkeeping
         #: is exact).  ``nr_running`` and ``total_weight`` are hot in the
@@ -131,6 +148,8 @@ class RunQueue:
         task.cpu = self.cpu_id
         task.stats.last_enqueue_us = now
         self._tree.insert((task.vruntime, task.tid), task)
+        if self.pidx is not None:
+            self.pidx.insert(task.vruntime, task.tid, task)
         self._nr_running += 1
         self._total_weight += task.weight
         self.mutations += 1
@@ -146,6 +165,8 @@ class RunQueue:
     def dequeue(self, task: Task, now: int) -> None:
         """Remove a queued (not running) task from the tree."""
         self._tree.remove((task.vruntime, task.tid))
+        if self.pidx is not None:
+            self.pidx.remove(task.tid)
         self._nr_running -= 1
         self._total_weight -= task.weight
         self.mutations += 1
@@ -158,16 +179,27 @@ class RunQueue:
         self.load_epoch.bump()
         self._notify(now)
 
-    def requeue(self, task: Task, now: int) -> None:
-        """Re-sort a queued task after its vruntime changed.
+    def requeue(self, task: Task, new_vruntime: int, now: int) -> None:
+        """Re-sort a queued task to ``new_vruntime``.
 
-        The task *set* is unchanged -- the tree entry merely moves to its
-        new sort position -- so load, nr_running, and idleness are all
-        exactly what every cache already holds: no epoch or mutation
-        bump, by design (hence the inline coherence suppressions).
+        A queued task's vruntime *is* its tree key, so the move must be
+        keyed by the old value and the attribute updated in between --
+        callers pass the new vruntime instead of mutating the task
+        first.  The task *set* is unchanged -- the tree entry merely
+        moves to its new sort position -- so load, nr_running, and
+        idleness are all exactly what every cache already holds: no
+        epoch or mutation bump, by design (hence the inline coherence
+        suppressions).
         """
         self._tree.remove((task.vruntime, task.tid))  # repro: noqa[coherence-unbumped-write]
+        task.vruntime = new_vruntime
         self._tree.insert((task.vruntime, task.tid), task)  # repro: noqa[coherence-unbumped-write]
+        if self.pidx is not None:
+            self.pidx.remove(task.tid)
+            self.pidx.insert(task.vruntime, task.tid, task)
+        # Not a load-affecting change, but the invariance flag is keyed
+        # to the summation the memo last saw; drop it conservatively.
+        self._cached_load_invariant = False
 
     def set_current(self, task: Optional[Task], now: int) -> None:
         """Install (or clear) the task executing on this CPU."""
@@ -201,21 +233,46 @@ class RunQueue:
         task.state = TaskState.RUNNABLE
         task.stats.last_enqueue_us = now
         self._tree.insert((task.vruntime, task.tid), task)
+        if self.pidx is not None:
+            self.pidx.insert(task.vruntime, task.tid, task)
         # The task set (and therefore load, nr_running, idleness) is
         # unchanged -- curr merely moved into the tree -- so no epoch or
         # mutation bump: every cached aggregate stays exactly valid.
+        # The *time-invariance* of the load summation is not: the task's
+        # running-state target flipped without a memo-key event, so the
+        # flag (and only the flag) is dropped here.
+        self._cached_load_invariant = False
         self._notify(now)
 
     # -- selection -------------------------------------------------------------
 
     def pick_next(self) -> Optional[Task]:
-        """The leftmost (least-vruntime) waiting task, without removing it."""
+        """The leftmost (least-vruntime) waiting task, without removing it.
+
+        With the pick index attached this is a cached-min probe instead
+        of a tree descent; the index orders by the tree's own composite
+        ``(vruntime, tid)`` key, so the two agree task-for-task (and the
+        sanitizer holds them to it on every probe).
+        """
+        pidx = self.pidx
+        if pidx is not None:
+            task = pidx.peek()
+            if self._sanitize:
+                pair = self._tree.leftmost()
+                ref = None if pair is None else pair[1]
+                if ref is not task:
+                    raise CoherenceError(
+                        "pick-index", "leftmost", task, ref
+                    )
+            return task
         pair = self._tree.leftmost()
         return None if pair is None else pair[1]
 
     def take(self, task: Task, now: int) -> Task:
         """Remove a specific waiting task (for migration or dispatch)."""
         self._tree.remove((task.vruntime, task.tid))
+        if self.pidx is not None:
+            self.pidx.remove(task.tid)
         self._nr_running -= 1
         self._total_weight -= task.weight
         self.mutations += 1
@@ -230,6 +287,12 @@ class RunQueue:
         return task
 
     def leftmost_vruntime(self) -> Optional[int]:
+        # A queued task's vruntime equals its tree key (it only changes
+        # while running), so the pick index's task is key-exact too.
+        pidx = self.pidx
+        if pidx is not None:
+            task = pidx.peek()
+            return None if task is None else task.vruntime
         pair = self._tree.leftmost()
         return None if pair is None else pair[0][0]
 
@@ -239,15 +302,22 @@ class RunQueue:
         Equivalent to ``max(min_vruntime, min(candidates))`` over the
         running task's vruntime and the tree's leftmost key, written
         branch-by-branch because this runs on every accounting point.
+        The pick index, when attached, supplies the leftmost in O(1).
         """
         curr = self.curr
-        pair = self._tree.leftmost()
+        pidx = self.pidx
+        if pidx is not None:
+            left = pidx.peek()
+            leftmost_vr = None if left is None else left.vruntime
+        else:
+            pair = self._tree.leftmost()
+            leftmost_vr = None if pair is None else pair[0][0]
         if curr is not None:
             floor = curr.vruntime
-            if pair is not None and pair[0][0] < floor:
-                floor = pair[0][0]
-        elif pair is not None:
-            floor = pair[0][0]
+            if leftmost_vr is not None and leftmost_vr < floor:
+                floor = leftmost_vr
+        elif leftmost_vr is not None:
+            floor = leftmost_vr
         else:
             return
         if floor > self.min_vruntime:
@@ -278,15 +348,44 @@ class RunQueue:
             return sum(task.load(now) for task in self.all_tasks())
         div = self.divisor_epoch.value
         if (
-            self._cached_load_now == now
-            and self._cached_load_mut == self.mutations
+            self._cached_load_mut == self.mutations
             and self._cached_load_div == div
+            and (
+                self._cached_load_now == now
+                # Time-invariance carry-across: the memoized summation
+                # found every member exactly converged, so it is a
+                # constant of time until the next mutation (key above)
+                # or running-state flip (flag cleared by put_prev/
+                # requeue) -- re-stamp the timestamp and keep the value.
+                # The sanitizer cross-checks this against a fresh
+                # recompute at the new timestamp on every such hit.
+                or self._cached_load_invariant
+            )
         ):
+            self._cached_load_now = now
             self.load_cache_hits += 1
             if self._sanitize:
                 verify_rq_load(self, now, self._cached_load)
             return self._cached_load
-        value = sum(task.load(now) for task in self.all_tasks())
+        # Explicit loop with the exact float-op order of the builtin
+        # ``sum`` (int 0 start, sequential left-to-right adds), which
+        # additionally derives the time-invariance flag: every member
+        # tracker sitting exactly on its state's target (1.0 running,
+        # 0.0 waiting) decays to itself at any future timestamp, so the
+        # summation -- and therefore this sample -- is a constant of
+        # time until the next mutation or state flip.
+        value: float = 0
+        invariant = True
+        for task in self.all_tasks():
+            value = value + task.load(now)
+            # Raw util read is deliberate: exact convergence (util ==
+            # target) is decay-invariant -- the decayed value IS the raw
+            # value on this path -- so no staleness can be observed.
+            if task.tracker.util != (  # repro: noqa[perf-load-bypass]
+                1.0 if task.state is TaskState.RUNNING else 0.0
+            ):
+                invariant = False
+        self._cached_load_invariant = invariant
         self._cached_load_now = now
         self._cached_load_mut = self.mutations
         self._cached_load_div = div

@@ -51,7 +51,9 @@ never re-derived, by the vector layer.
 from __future__ import annotations
 
 import os
-from typing import Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
+
+from repro.sched.weights import NICE_0_WEIGHT
 
 #: Set to any non-empty value to pretend numpy is not installed (CI's
 #: fallback leg and the in-process digest cross-check use this).
@@ -78,6 +80,12 @@ HAVE_NUMPY = _NUMPY is not None
 #: over the mirrored queue loads -- the int zero included (see above).
 GroupFold = Tuple[float, float, float, int, int, int]
 
+#: Batched-tick kernel result: per-row new vruntimes and preemption
+#: verdicts (plain Python ints/bools on every backend -- vruntimes are
+#: digest-hashed fields, so the numpy twin converts its ``int64`` lanes
+#: back via ``tolist()``).
+TickBatch = Tuple[List[int], List[bool]]
+
 
 class _NumpyOps:
     """numpy-backed wide-group fold kernel."""
@@ -86,6 +94,11 @@ class _NumpyOps:
 
     #: Narrowest group the vector kernel pays off for (see module doc).
     bulk_min = 64
+
+    #: Narrowest tick cohort the batched kernel pays off for: each row
+    #: amortizes ~8 vector ops (vs one gather), so the crossover sits
+    #: well below the single-reduction folds'.
+    tick_bulk_min = 32
 
     def __init__(self) -> None:
         if _NUMPY is None:
@@ -116,6 +129,148 @@ class _NumpyOps:
             int(ns.max()),
         )
 
+    def argmin_pairs(
+        self, vrs: Sequence[int], tids: Sequence[int], n: int
+    ) -> int:
+        """Slot of the minimum ``(vruntime, tid)`` pair (rbtree order).
+
+        Everything is integer, so the vector reduction is exact; ties on
+        vruntime break by tid exactly like the rbtree's composite key.
+        Narrow inputs run the fallback's scalar scan (same crossover
+        story as the group fold: the gather costs more than C saves).
+        """
+        if n < self.bulk_min:
+            best = 0
+            bv = vrs[0]
+            bt = tids[0]
+            i = 1
+            while i < n:
+                v = vrs[i]
+                if v < bv or (v == bv and tids[i] < bt):
+                    best = i
+                    bv = v
+                    bt = tids[i]
+                i += 1
+            return best
+        np = self._np
+        v = np.fromiter(vrs, dtype=np.int64, count=n)
+        ties = np.nonzero(v == v.min())[0]
+        if len(ties) == 1:
+            return int(ties[0])
+        t = np.fromiter(
+            (tids[int(i)] for i in ties), dtype=np.int64, count=len(ties)
+        )
+        return int(ties[int(t.argmin())])
+
+    def due_cpus(
+        self, gates: Sequence[int], arms: Sequence[int], tok: int, now: int
+    ) -> List[int]:
+        """Ascending ids of CPUs whose balance gate has expired.
+
+        A gate is live only while its arming token still matches the
+        global flip token (any idle flip invalidates every gate at
+        once); a stale or expired gate means "due".  One two-array
+        compare-and-nonzero reduction; indices (not floats) come back,
+        so the result is exact by construction on either backend.
+        """
+        n = len(gates)
+        if n < self.bulk_min:
+            return [
+                i for i in range(n) if gates[i] <= now or arms[i] != tok
+            ]
+        np = self._np
+        g = np.fromiter(gates, dtype=np.int64, count=n)
+        a = np.fromiter(arms, dtype=np.int64, count=n)
+        return [int(i) for i in np.nonzero((g <= now) | (a != tok))[0]]
+
+    def tick_batch(
+        self,
+        deltas: Sequence[int],
+        weights: Sequence[int],
+        vrs: Sequence[int],
+        rans: Sequence[int],
+        nrs: Sequence[int],
+        tws: Sequence[int],
+        wait_vrs: Sequence[int],
+        latency: int,
+        min_gran: int,
+        wakeup_gran: int,
+    ) -> TickBatch:
+        """Batched tick body over one same-timestamp cohort.
+
+        Per row (one busy CPU with a convergence-stable mirror):
+        the vruntime charge ``vr + delta * NICE_0_WEIGHT // weight`` and
+        the ``check_preempt_tick`` verdict against the row's timeslice
+        ``max(max(latency, nr * min_gran) * weight // tw, min_gran)``.
+        ``wait_vrs`` carries -1 for rows with an empty wait queue (a
+        vruntime is never negative).  All lanes are int64 and every
+        operand is non-negative, so the vector floor-divisions match
+        Python's exactly; narrow cohorts run the fallback's scalar loop.
+        """
+        n = len(deltas)
+        if n < self.tick_bulk_min:
+            return _tick_batch_scalar(
+                deltas, weights, vrs, rans, nrs, tws, wait_vrs,
+                latency, min_gran, wakeup_gran, n,
+            )
+        np = self._np
+        d = np.fromiter(deltas, dtype=np.int64, count=n)
+        w = np.fromiter(weights, dtype=np.int64, count=n)
+        v = np.fromiter(vrs, dtype=np.int64, count=n)
+        r = np.fromiter(rans, dtype=np.int64, count=n)
+        q = np.fromiter(nrs, dtype=np.int64, count=n)
+        tw = np.fromiter(tws, dtype=np.int64, count=n)
+        wv = np.fromiter(wait_vrs, dtype=np.int64, count=n)
+        new_vr = v + (d * NICE_0_WEIGHT) // w
+        period = np.maximum(q * min_gran, latency)
+        slices = np.maximum((period * w) // tw, min_gran)
+        preempt = (wv >= 0) & (
+            (r >= slices)
+            | ((r >= min_gran) & (new_vr > wv + wakeup_gran))
+        )
+        return new_vr.tolist(), preempt.tolist()
+
+
+def _tick_batch_scalar(
+    deltas: Sequence[int],
+    weights: Sequence[int],
+    vrs: Sequence[int],
+    rans: Sequence[int],
+    nrs: Sequence[int],
+    tws: Sequence[int],
+    wait_vrs: Sequence[int],
+    latency: int,
+    min_gran: int,
+    wakeup_gran: int,
+    n: int,
+) -> TickBatch:
+    """Row-at-a-time tick body: the expression-for-expression scalar
+    reference both backends run below the crossover (and the fallback
+    backend runs at every width).  Integer-only, so it is exact."""
+    new_vrs: List[int] = []
+    preempts: List[bool] = []
+    i = 0
+    while i < n:
+        new_vr = vrs[i] + (deltas[i] * NICE_0_WEIGHT) // weights[i]
+        new_vrs.append(new_vr)
+        wv = wait_vrs[i]
+        if wv < 0:
+            preempts.append(False)
+        else:
+            period = nrs[i] * min_gran
+            if period < latency:
+                period = latency
+            slice_us = (period * weights[i]) // tws[i]
+            if slice_us < min_gran:
+                slice_us = min_gran
+            ran = rans[i]
+            preempts.append(
+                ran >= slice_us
+                or (ran >= min_gran and new_vr > wv + wakeup_gran)
+            )
+        i += 1
+    return new_vrs, preempts
+
 
 class _PythonOps:
     """Dependency-free fallback: builtin reductions over gathered lists."""
@@ -126,12 +281,61 @@ class _PythonOps:
     #: same code path for the same group widths (structural identity).
     bulk_min = 64
 
+    #: Mirrors the numpy backend's tick crossover (same reasoning).
+    tick_bulk_min = 32
+
     def fold_group(
         self, loads: Sequence[float], nrs: Sequence[int], cpus: Sequence[int]
     ) -> GroupFold:
         vals = [loads[c] for c in cpus]
         ns = [nrs[c] for c in cpus]
         return (sum(vals), min(vals), max(vals), sum(ns), min(ns), max(ns))
+
+    def argmin_pairs(
+        self, vrs: Sequence[int], tids: Sequence[int], n: int
+    ) -> int:
+        """Slot of the minimum ``(vruntime, tid)`` pair (rbtree order)."""
+        best = 0
+        bv = vrs[0]
+        bt = tids[0]
+        i = 1
+        while i < n:
+            v = vrs[i]
+            if v < bv or (v == bv and tids[i] < bt):
+                best = i
+                bv = v
+                bt = tids[i]
+            i += 1
+        return best
+
+    def due_cpus(
+        self, gates: Sequence[int], arms: Sequence[int], tok: int, now: int
+    ) -> List[int]:
+        """Ascending ids of CPUs whose balance gate has expired."""
+        return [
+            i
+            for i in range(len(gates))
+            if gates[i] <= now or arms[i] != tok
+        ]
+
+    def tick_batch(
+        self,
+        deltas: Sequence[int],
+        weights: Sequence[int],
+        vrs: Sequence[int],
+        rans: Sequence[int],
+        nrs: Sequence[int],
+        tws: Sequence[int],
+        wait_vrs: Sequence[int],
+        latency: int,
+        min_gran: int,
+        wakeup_gran: int,
+    ) -> TickBatch:
+        """Batched tick body -- always the scalar reference loop."""
+        return _tick_batch_scalar(
+            deltas, weights, vrs, rans, nrs, tws, wait_vrs,
+            latency, min_gran, wakeup_gran, len(deltas),
+        )
 
 
 VecOps = Union[_NumpyOps, _PythonOps]

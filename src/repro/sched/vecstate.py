@@ -66,10 +66,16 @@ _GroupEntry = Tuple["SchedGroup", Tuple[int, ...], int]
 
 #: Flat fold-memo entry (a list, for in-place re-stamping):
 #: [group, now, version, load_sum, load_min, load_max,
-#:  nr_sum, nr_min, nr_max, stats-or-None, cpus, member count].
+#:  nr_sum, nr_min, nr_max, stats-or-None, cpus, member count,
+#:  group dirty count].
 #: Slots 3..8 are the six reductions in the exact objects the scalar
 #: fold produces; slot 9 caches the lazily-materialized GroupStats.
+#: Slot 12 is the group's dirty counter at fold time: the counter only
+#: moves when a member slot's mirrored value actually changed, so a
+#: matching count revalidates the fold across timestamps in O(1) (and
+#: the entry is re-stamped in place, like BalancePass's epoch slot).
 _F_STATS = 9
+_F_DIRTY = 12
 
 
 class _DomainCache:
@@ -122,6 +128,7 @@ class VecState:
         "_dirty_list", "_loads_at", "_version", "_div_ref",
         "_div_epoch", "_gidx", "_gstats", "_designated", "_desig_by_cpu",
         "_domains", "_sanitize", "_use_min", "_scratch_folds",
+        "_grp_dirty", "_slot_grps", "_gate", "_gate_arm", "_gate_tok",
     )
 
     def __init__(self, sched: "Scheduler"):
@@ -169,6 +176,40 @@ class VecState:
         #: entry owned by ``_gstats`` or a fresh fold that ``_fold_entry``
         #: already registered there.
         self._scratch_folds: List[List[object]] = []
+        #: Per-group dirty counter: ``id(group) -> count``, bumped by
+        #: every mirror rewrite of any member slot (identity check --
+        #: the queues' load memo returns the *same object* while nothing
+        #: changed).  Fold memos record the count at fold time (slot
+        #: ``_F_DIRTY``); counts never decrease, so an equal count at a
+        #: later (now, version) proves every input object unchanged and
+        #: revalidates the fold in O(1) -- the old per-member
+        #: generation-sum probe paid O(group) per probe, which was the
+        #: top scalar-residue line on soak64.
+        self._grp_dirty: Dict[int, int] = {}
+        #: Reverse index for the counters: every registered group
+        #: containing the slot (built with the gather plans, dropped on
+        #: hotplug with them).
+        self._slot_grps: List[List["SchedGroup"]] = [[] for _ in range(n)]
+        #: Per-CPU periodic-balance gate: the earliest ``next_balance``
+        #: deadline among the levels this CPU currently wins at its
+        #: cached plan.  ``gate > now`` proves the whole domain walk is
+        #: a no-op (no due level the CPU would act on), so the walk is
+        #: skipped wholesale.  A gate is live only while its arming
+        #: token (below) matches the global flip token; 0 = due either
+        #: way, forcing one real walk which re-arms the gate.
+        self._gate: List[int] = [0] * n
+        #: Token each gate was armed at.  Elections read idle flags, so
+        #: *any* idle<->busy flip may promote some CPU to winner of an
+        #: already-due level; bumping one global token invalidates every
+        #: gate in O(1) instead of walking reverse watch lists (whose
+        #: zero-loops cost more than the gates saved under flip churn).
+        self._gate_arm: List[int] = [-1] * n
+        #: The global flip token.  Also serves the mid-walk hazard: a
+        #: walk snapshots it on entry and its final stamp is refused if
+        #: the token moved (the walk's own migrations flip idle states),
+        #: and the NOHZ due-sweep recomputes its due list when the token
+        #: moves under it.
+        self._gate_tok = 0
         self._sanitize = sched.features.sanitize_coherence
         self._use_min = sched.features.fix_group_imbalance
 
@@ -201,6 +242,7 @@ class VecState:
             for gid in bucket:
                 designated.pop(gid, None)
             bucket.clear()
+        self._gate_tok += 1
 
     def on_topology_change(self) -> None:
         """Hotplug rebuilt the domains: drop every interned index/memo."""
@@ -212,6 +254,10 @@ class VecState:
         self._domains.clear()
         self._loads_at = -1
         self._version += 1
+        self._grp_dirty.clear()
+        for lst in self._slot_grps:
+            del lst[:]
+        self._gate_tok += 1
 
     def _check_epochs(self) -> None:
         # Mirrors BalancePass._refresh, re-checked per lookup: divisor
@@ -235,12 +281,26 @@ class VecState:
         now = self.now
         loads = self._loads
         nrs = self._nrs
+        slot_grps = self._slot_grps
+        grp_dirty = self._grp_dirty
         if self._loads_at != now:
             for cpu in self.sched.cpus:
                 rq = cpu.rq
                 i = rq.cpu_id
-                loads[i] = rq.load(now)
-                nrs[i] = rq._nr_running
+                # Identity check: the queue's load memo carries its value
+                # across timestamps while provably time-invariant, so a
+                # slot whose mirrored *object* is unchanged dirties no
+                # fold memo over it.
+                v = rq.load(now)
+                if v is not loads[i]:
+                    loads[i] = v
+                    for g in slot_grps[i]:
+                        grp_dirty[id(g)] += 1
+                nr = rq._nr_running
+                if nr != nrs[i]:
+                    nrs[i] = nr
+                    for g in slot_grps[i]:
+                        grp_dirty[id(g)] += 1
             self._loads_at = now
             if self._dirty_list:
                 for i in self._dirty_list:
@@ -250,8 +310,16 @@ class VecState:
             cpus = self.sched.cpus
             for i in self._dirty_list:
                 rq = cpus[i].rq
-                loads[i] = rq.load(now)
-                nrs[i] = rq._nr_running
+                v = rq.load(now)
+                if v is not loads[i]:
+                    loads[i] = v
+                    for g in slot_grps[i]:
+                        grp_dirty[id(g)] += 1
+                nr = rq._nr_running
+                if nr != nrs[i]:
+                    nrs[i] = nr
+                    for g in slot_grps[i]:
+                        grp_dirty[id(g)] += 1
                 self._dirty[i] = False
             self._dirty_list.clear()
 
@@ -265,6 +333,13 @@ class VecState:
             )
             entry = (group, cpus, len(cpus))
             self._gidx[id(group)] = entry
+            # Register the group with each member slot's reverse index
+            # so mirror rewrites bump its dirty counter; id reuse is
+            # safe because the index holds the group itself (and _gidx
+            # keeps it alive until hotplug clears both maps together).
+            self._grp_dirty[id(group)] = 0
+            for c in cpus:
+                self._slot_grps[c].append(group)
         return entry
 
     def _domain_cache(self, domain: "SchedDomain") -> _DomainCache:
@@ -306,7 +381,17 @@ class VecState:
         entry = self._group_entry(group)
         if not entry[1]:
             return None
-        return self._materialize(self._fold_entry(entry))
+        # The fold carries its own cross-timestamp second chance (the
+        # generation-sum probe in _fold_entry), so this "miss" may be a
+        # revalidated memo; the sanitizer cross-checks it either way.
+        stats = self._materialize(self._fold_entry(entry))
+        if self._sanitize:
+            verify_group_stats(
+                group,
+                stats,
+                _fold_group_stats(self.sched, group, now, None),
+            )
+        return stats
 
     def _fold_entry(self, entry: _GroupEntry) -> List[object]:
         """Fold one (nonempty) group into a fresh memo entry.
@@ -320,6 +405,20 @@ class VecState:
         go through the backend kernel.
         """
         group, cpus, k = entry
+        d = self._grp_dirty[id(group)]
+        prev = self._gstats.get(id(group))
+        if prev is not None:
+            # Second chance across timestamps: the (now, version) stamp
+            # went stale, but the group's dirty counter is monotone, so
+            # an equal count -- taken after the sync brought the mirror
+            # current -- proves every input object unchanged and the
+            # memoized reductions still exact.  Re-stamp the entry in
+            # place (the BalancePass epoch re-stamp idiom) instead of
+            # refolding.
+            if d == prev[_F_DIRTY]:
+                prev[1] = self.now
+                prev[2] = self._version
+                return prev
         loads = self._loads
         nrs = self._nrs
         c = cpus[0]
@@ -328,7 +427,7 @@ class VecState:
         if k == 1:
             m: List[object] = [
                 group, self.now, self._version,
-                v, v, v, nr, nr, nr, None, cpus, 1,
+                v, v, v, nr, nr, nr, None, cpus, 1, d,
             ]
         elif k < self._bulk:
             ls = v
@@ -355,7 +454,7 @@ class VecState:
                 j += 1
             m = [
                 group, self.now, self._version,
-                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k,
+                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k, d,
             ]
         else:
             ls, lmn, lmx, ns, nmn, nmx = self.ops.fold_group(
@@ -363,7 +462,7 @@ class VecState:
             )
             m = [
                 group, self.now, self._version,
-                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k,
+                ls, lmn, lmx, ns, nmn, nmx, None, cpus, k, d,
             ]
         self._gstats[id(group)] = m
         return m
@@ -441,6 +540,52 @@ class VecState:
         for c in mask:
             by_cpu[c][id(group)] = True
         return winner
+
+    # -- periodic-balance gate ---------------------------------------------
+
+    def gated(self, cpu_id: int, now: int) -> bool:
+        """True when this CPU's whole domain walk is provably a no-op.
+
+        The gate holds the earliest ``next_balance`` deadline among the
+        levels this CPU currently wins, stamped by its last real walk.
+        While the gate is live (armed at the current flip token) and
+        sits in the future, no level is both due and won, and a walk
+        that attempts nothing emits no events, stamps no deadline, and
+        moves no task -- so skipping it wholesale is digest-invisible.
+        Election shifts that could promote the CPU to winner of an
+        already-due level come only from idle<->busy churn or hotplug;
+        both bump the flip token, disarming every gate in O(1).
+        """
+        return (
+            self._gate_arm[cpu_id] == self._gate_tok
+            and self._gate[cpu_id] > now
+        )
+
+    def gate_token(self) -> int:
+        """The global flip token; snapshot before a walk (see set_gate)."""
+        return self._gate_tok
+
+    def set_gate(self, cpu_id: int, stamp: int, tok: int) -> None:
+        """Arm the walk's earliest next deadline for this CPU.
+
+        Refused if the token moved since ``tok`` was read: the walk's
+        own migrations can flip idle states that re-elect this very
+        CPU, and the walk's deadline is stale the moment they do.
+        """
+        if self._gate_tok == tok:
+            self._gate[cpu_id] = stamp
+            self._gate_arm[cpu_id] = tok
+
+    def balance_due(self, now: int) -> List[int]:
+        """CPU ids whose gate expired or is disarmed, ascending.
+
+        One two-array reduction over the deadline and arming-token
+        mirrors -- "which CPUs need balancing now" without touching the
+        CPUs that provably do not.
+        """
+        return self.ops.due_cpus(
+            self._gate, self._gate_arm, self._gate_tok, now
+        )
 
     # -- bulk busiest-group selection --------------------------------------
 
@@ -536,6 +681,9 @@ class VecState:
             if m is not None and m[1] == now and m[2] == version:
                 append(m)
             else:
+                # May still revalidate in place: _fold_entry's own
+                # generation-sum probe catches stale-stamp-same-inputs
+                # entries before paying for a refold.
                 append(self._fold_entry(entry))
         local_idx = cache.local_slot.get(dst_cpu, -1)
         if local_idx < 0:

@@ -179,6 +179,62 @@ def test_residue_ranking_names_cfs_pick_path():
     assert not any("_NumpyOps" in fn or "_PythonOps" in fn for fn in quals)
 
 
+#: The tottime seconds these functions carried in the scalar-era
+#: profile harvest (the pre-batched-kernel ``COST_baseline.json``).
+#: Frozen here as the reference point the refreshed vec-profile
+#: weights are measured against.
+_SCALAR_ERA_WEIGHTS = {
+    "repro.sched.scheduler.Scheduler.tick": 1.373,
+    "repro.sim.engine.EventLoop.run_until": 4.629,
+    "repro.sched.balance.balance_domain": 1.718,
+    "repro.sched.scheduler.Scheduler.pick_next_task": 1.501,
+    "repro.sched.balance.find_busiest_group": 1.469,
+    "repro.sched.balance.newidle_balance": 1.237,
+}
+
+
+def test_refreshed_vec_weights_demote_cfs_path():
+    """The committed weights are a vec-run harvest, not scalar-era data.
+
+    After the batched tick/pick kernels, the CFS-path functions the
+    scalar-era profile named as dominant must carry strictly smaller
+    residue scores under the committed (soak64 vec) weights, and the
+    headline movers must change rank: ``Scheduler.tick`` loses rank 1
+    to its own scalar glue (``_tick_vec``, the honest new residue) and
+    the event loop's ``run_until`` -- now a thin dispatch into the
+    batched drain -- falls out of the top ranks entirely.
+    """
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / "COST_baseline.json"
+    committed = json.loads(path.read_text())
+    engine = shipped_engine()
+    old = cost_report(
+        engine, baseline={"profile_weights": _SCALAR_ERA_WEIGHTS}
+    )["scalar_residue"]
+    new = cost_report(engine, baseline=committed)["scalar_residue"]
+
+    def row(rows, qual):
+        match = [r for r in rows if r["function"] == qual]
+        assert match, f"{qual} missing from residue"
+        return match[0]
+
+    for qual in _SCALAR_ERA_WEIGHTS:
+        old_score = float(str(row(old, qual)["score"]))
+        new_score = float(str(row(new, qual)["score"]))
+        assert new_score < old_score, (qual, old_score, new_score)
+    assert new[0]["function"].endswith("Scheduler._tick_vec")
+    tick = "repro.sched.scheduler.Scheduler.tick"
+    assert row(new, tick)["rank"] > row(old, tick)["rank"] == 1
+    run_until = "repro.sim.engine.EventLoop.run_until"
+    assert row(new, run_until)["rank"] > 20 > row(old, run_until)["rank"]
+    # The committed evidence itself says the kernel absorbed the tick:
+    # the per-tick scalar glue now outweighs the whole scalar tick body.
+    weights = committed["profile_weights"]
+    glue = "repro.sched.scheduler.Scheduler._tick_vec"
+    assert weights[tick] < weights[glue]
+
+
 def test_cost_report_is_deterministic():
     a = cost_report(shipped_engine())
     b = cost_report(shipped_engine())
